@@ -1,0 +1,1 @@
+bin/sfanalyze.ml: Arg Cmd Cmdliner List Printf Sf_gen Sf_graph Sf_prng Sf_stats String Term

@@ -1,0 +1,1 @@
+bin/sfexp.ml: Arg Cmd Cmdliner List Printf Sf_core Sf_experiments String Term

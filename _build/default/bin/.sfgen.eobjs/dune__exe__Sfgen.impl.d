@@ -1,0 +1,1 @@
+bin/sfgen.ml: Arg Cmd Cmdliner Printf Sf_gen Sf_graph Sf_prng Sf_stats Term

@@ -1,0 +1,1 @@
+bin/sfsearch.ml: Arg Cmd Cmdliner List Option Printf Sf_core Sf_gen Sf_graph Sf_prng Sf_search Sf_stats String Term

@@ -1,0 +1,1 @@
+bin/sfsim.ml: Arg Cmd Cmdliner Option Printf Sf_gen Sf_graph Sf_prng Sf_sim Sf_stats String Term

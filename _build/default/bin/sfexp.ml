@@ -1,0 +1,81 @@
+(* sfexp: run one experiment (or all) from the registry by id.
+
+   Examples:
+     sfexp list
+     sfexp run T5
+     sfexp run T1 --quick --seed 99
+     sfexp run all *)
+
+open Cmdliner
+
+let list_experiments () =
+  List.iter
+    (fun (e : Sf_experiments.Registry.entry) ->
+      Printf.printf "%-4s %s\n" e.Sf_experiments.Registry.id e.Sf_experiments.Registry.title)
+    Sf_experiments.Registry.all;
+  0
+
+let print_result (result : Sf_experiments.Exp.result) =
+  Printf.printf "\n######## %s - %s\n\n" result.Sf_experiments.Exp.id
+    result.Sf_experiments.Exp.title;
+  print_string result.Sf_experiments.Exp.output;
+  print_newline ();
+  List.iter
+    (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "ok" else "SHAPE MISMATCH") name)
+    result.Sf_experiments.Exp.checks;
+  Sf_experiments.Exp.all_pass result
+
+let run_experiment id quick seed =
+  let entries =
+    if String.lowercase_ascii id = "all" then Some Sf_experiments.Registry.all
+    else
+      match Sf_experiments.Registry.find id with
+      | Some e -> Some [ e ]
+      | None -> None
+  in
+  match entries with
+  | None ->
+    Printf.eprintf "unknown experiment %s; try 'sfexp list'\n" id;
+    1
+  | Some entries ->
+    let ok =
+      List.for_all
+        (fun (e : Sf_experiments.Registry.entry) ->
+          print_result (e.Sf_experiments.Registry.run ~quick ~seed))
+        entries
+    in
+    if ok then 0 else 2
+
+let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (T1..T14) or 'all'")
+let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes")
+let seed_arg = Arg.(value & opt int 20070615 & info [ "seed" ] ~doc:"Master seed")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"run an experiment by id")
+    Term.(const run_experiment $ id_arg $ quick_arg $ seed_arg)
+
+let list_cmd = Cmd.v (Cmd.info "list" ~doc:"list experiment ids") Term.(const list_experiments $ const ())
+
+let verify_statements seed =
+  let reports = Sf_core.Paper.verify ~seed in
+  print_string (Sf_core.Paper.render reports);
+  if Sf_core.Paper.all_pass reports then begin
+    Printf.printf "All %d statements verified.\n" (List.length reports);
+    0
+  end
+  else begin
+    Printf.printf "Some statements FAILED verification.\n";
+    2
+  end
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify" ~doc:"run the statement-by-statement paper verification certificate")
+    Term.(const verify_statements $ seed_arg)
+
+let cmd =
+  let doc = "reproduce the paper's experiment tables" in
+  Cmd.group (Cmd.info "sfexp" ~doc) [ list_cmd; run_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,99 @@
+(* sfgen: generate any of the library's random-graph models and write
+   it as an edge list (or DOT), printing summary statistics.
+
+   Examples:
+     sfgen mori -n 10000 -p 0.5 --seed 7 --out g.edges
+     sfgen cooper-frieze -n 5000 --alpha 0.9 --stats
+     sfgen config -n 100000 --exponent 2.3 --out -
+     sfgen kleinberg --side 64 --r 2.0 --dot grid.dot *)
+
+open Cmdliner
+
+let generate_graph ~model ~n ~p ~m ~alpha ~exponent ~d_min ~side ~r ~q ~seed =
+  let rng = Sf_prng.Rng.of_seed seed in
+  match model with
+  | "mori" -> Ok (Sf_gen.Mori.graph rng ~p ~m ~n)
+  | "ba" -> Ok (Sf_gen.Barabasi_albert.generate rng ~n ~m)
+  | "cooper-frieze" ->
+    let params = { Sf_gen.Cooper_frieze.default with Sf_gen.Cooper_frieze.alpha } in
+    Ok (Sf_gen.Cooper_frieze.generate_n_vertices rng params ~n)
+  | "config" -> Ok (Sf_gen.Config_model.power_law rng ~n ~exponent ~d_min ())
+  | "config-giant" -> Ok (Sf_gen.Config_model.searchable_power_law rng ~n ~exponent ~d_min ())
+  | "kleinberg" -> Ok (Sf_gen.Kleinberg.generate rng ~side ~r ~q ()).Sf_gen.Kleinberg.graph
+  | "uniform" -> Ok (Sf_gen.Uniform_attachment.tree rng ~t:n)
+  | "gnm" -> Ok (Sf_gen.Erdos_renyi.gnm rng ~n ~m:(n * m))
+  | other -> Error (`Msg ("unknown model: " ^ other))
+
+let print_stats g =
+  let u = Sf_graph.Ugraph.of_digraph g in
+  let in_deg = Sf_graph.Metrics.in_degrees g in
+  Printf.printf "vertices:        %s\n" (Sf_stats.Table.fmt_int_grouped (Sf_graph.Digraph.n_vertices g));
+  Printf.printf "edges:           %s\n" (Sf_stats.Table.fmt_int_grouped (Sf_graph.Digraph.n_edges g));
+  Printf.printf "mean degree:     %.2f\n" (Sf_graph.Metrics.mean_degree g);
+  Printf.printf "max in-degree:   %d\n" (Sf_graph.Metrics.max_in_degree g);
+  Printf.printf "max total deg:   %d\n" (Sf_graph.Metrics.max_total_degree g);
+  Printf.printf "self loops:      %d\n" (Sf_graph.Metrics.self_loops g);
+  Printf.printf "parallel edges:  %d\n" (Sf_graph.Metrics.parallel_edges g);
+  Printf.printf "connected:       %b\n" (Sf_graph.Traversal.is_connected u);
+  (try
+     let fit = Sf_stats.Power_law.fit_scan in_deg () in
+     Printf.printf "power-law tail:  gamma=%.2f (x_min=%d, KS=%.3f)\n" fit.Sf_stats.Power_law.alpha
+       fit.Sf_stats.Power_law.x_min fit.Sf_stats.Power_law.ks
+   with Invalid_argument _ -> Printf.printf "power-law tail:  (no admissible fit)\n");
+  Printf.printf "\nlog-binned indegree histogram:\n%s"
+    (try Sf_stats.Histogram.render (Sf_stats.Histogram.logarithmic in_deg ())
+     with Invalid_argument _ -> "(no positive indegrees)\n")
+
+let run model n p m alpha exponent d_min side r q seed out dot stats =
+  match
+    generate_graph ~model ~n ~p ~m ~alpha ~exponent ~d_min ~side ~r ~q ~seed
+  with
+  | Error (`Msg msg) ->
+    Printf.eprintf "sfgen: %s\n" msg;
+    1
+  | Ok g ->
+    (match out with
+    | Some "-" -> print_string (Sf_graph.Gio.to_edge_list g)
+    | Some path ->
+      Sf_graph.Gio.write_edge_list g ~path;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    (match dot with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Sf_graph.Gio.to_dot g);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    if stats || (out = None && dot = None) then print_stats g;
+    0
+
+let model_arg =
+  let doc =
+    "Model: mori | ba | cooper-frieze | config | config-giant | kleinberg | uniform | gnm"
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let n_arg = Arg.(value & opt int 1000 & info [ "n" ] ~doc:"Number of vertices")
+let p_arg = Arg.(value & opt float 0.5 & info [ "p" ] ~doc:"Mori preferential-attachment weight (0 < p <= 1)")
+let m_arg = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Out-degree / merge factor")
+let alpha_arg = Arg.(value & opt float 0.5 & info [ "alpha" ] ~doc:"Cooper-Frieze NEW-step probability")
+let exponent_arg = Arg.(value & opt float 2.3 & info [ "exponent" ] ~doc:"Configuration-model power-law exponent")
+let d_min_arg = Arg.(value & opt int 2 & info [ "d-min" ] ~doc:"Configuration-model minimum degree")
+let side_arg = Arg.(value & opt int 32 & info [ "side" ] ~doc:"Kleinberg grid side")
+let r_arg = Arg.(value & opt float 2.0 & info [ "r" ] ~doc:"Kleinberg clustering exponent")
+let q_arg = Arg.(value & opt int 1 & info [ "q" ] ~doc:"Kleinberg long-range links per vertex")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
+let out_arg = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Edge-list output path ('-' for stdout)")
+let dot_arg = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"GraphViz DOT output path")
+let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print summary statistics")
+
+let cmd =
+  let doc = "generate random scale-free (and control) graphs" in
+  Cmd.v
+    (Cmd.info "sfgen" ~doc)
+    Term.(
+      const run $ model_arg $ n_arg $ p_arg $ m_arg $ alpha_arg $ exponent_arg $ d_min_arg
+      $ side_arg $ r_arg $ q_arg $ seed_arg $ out_arg $ dot_arg $ stats_arg)
+
+let () = exit (Cmd.eval' cmd)

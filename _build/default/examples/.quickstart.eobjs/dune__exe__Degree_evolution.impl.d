@@ -1,0 +1,1 @@
+examples/degree_evolution.ml: Array Hashtbl List Printf Sf_core Sf_gen Sf_graph Sf_prng Sf_stats

@@ -1,0 +1,1 @@
+examples/degree_evolution.mli:

@@ -1,0 +1,1 @@
+examples/equivalence_demo.ml: Float Hashtbl List Option Printf Sf_core Sf_graph Sf_stats

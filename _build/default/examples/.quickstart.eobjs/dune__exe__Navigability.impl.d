@@ -1,0 +1,1 @@
+examples/navigability.ml: Float List Printf Sf_core Sf_gen Sf_graph Sf_prng Sf_search Sf_stats

@@ -1,0 +1,1 @@
+examples/navigability.mli:

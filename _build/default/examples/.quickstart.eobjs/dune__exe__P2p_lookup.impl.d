@@ -1,0 +1,1 @@
+examples/p2p_lookup.ml: List Printf Sf_core Sf_gen Sf_graph Sf_prng Sf_search Sf_stats

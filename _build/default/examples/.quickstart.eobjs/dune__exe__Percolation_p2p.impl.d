@@ -1,0 +1,1 @@
+examples/percolation_p2p.ml: List Printf Sf_gen Sf_graph Sf_prng Sf_search Sf_stats

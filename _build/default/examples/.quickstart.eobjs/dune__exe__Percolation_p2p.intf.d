@@ -1,0 +1,1 @@
+examples/percolation_p2p.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Sf_core Sf_gen Sf_graph Sf_prng Sf_search Sf_stats

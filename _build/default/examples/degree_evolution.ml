@@ -1,0 +1,66 @@
+(* The age-degree law: why the oldest vertices are the hubs.
+
+   The attachment rule gives an exact recurrence for the expected
+   indegree of each vertex; this demo evaluates it (no mean-field
+   hand-waving), compares it with simulation, and shows the (t/s)^p
+   growth that makes age and degree inseparable in evolving models -
+   the structural fact behind both the degree power law and the
+   non-searchability proof's need to *condition* recent vertices into
+   exchangeability.
+
+   Run with:  dune exec examples/degree_evolution.exe *)
+
+let () =
+  let p = 0.6 in
+  let t = 50_000 in
+  let rng = Sf_prng.Rng.of_seed 99 in
+  let trials = 40 in
+
+  Printf.printf "Mori model, p = %.1f, t = %s: expected indegree of vertex v\n\n" p
+    (Sf_stats.Table.fmt_int_grouped t);
+
+  (* simulate to compare with the exact recurrence *)
+  let sums = Hashtbl.create 16 in
+  let watch = [ 1; 10; 100; 1_000; 10_000 ] in
+  for _ = 1 to trials do
+    let g = Sf_gen.Mori.tree (Sf_prng.Rng.split rng) ~p ~t in
+    List.iter
+      (fun v ->
+        let prev = try Hashtbl.find sums v with Not_found -> 0 in
+        Hashtbl.replace sums v (prev + Sf_graph.Digraph.in_degree g v))
+      watch
+  done;
+
+  Printf.printf "  vertex v   exact E[d]   simulated   (t/v)^p scale\n";
+  List.iter
+    (fun v ->
+      let exact = Sf_core.Moments.expected_indegree ~p ~v ~t in
+      let sim = float_of_int (Hashtbl.find sums v) /. float_of_int trials in
+      let scale = (float_of_int t /. float_of_int v) ** p in
+      Printf.printf "  %8s   %10.2f   %9.2f   %12.1f\n"
+        (Sf_stats.Table.fmt_int_grouped v)
+        exact sim scale)
+    watch;
+
+  Printf.printf
+    "\n  -> the exact recurrence matches simulation, and degrees scale like\n\
+    \     (t/v)^p: vertex age determines expected degree. Inverting the law\n\
+    \     P(d_v > x) = P(v < t x^{-1/p}) gives the degree power law with\n\
+    \     density exponent 1 + 1/p = %.2f (experiment T9), and vertex 1's\n\
+    \     expectation ~ t^p is Mori's max-degree law (experiment T8).\n\n"
+    (Sf_gen.Mori.expected_degree_exponent ~p);
+
+  (* the whole profile sums to the edge count - an exact invariant *)
+  let small_t = 2_000 in
+  let profile = Sf_core.Moments.expected_indegree_profile ~p ~t:small_t in
+  let total = Array.fold_left ( +. ) 0. profile in
+  Printf.printf "exact invariant at t = %d: profile sums to %.6f = edges (%d)\n" small_t total
+    (small_t - 1);
+
+  (* and the age-degree correlation the searcher cannot escape *)
+  let g = Sf_gen.Mori.tree (Sf_prng.Rng.split rng) ~p ~t:20_000 in
+  let u = Sf_graph.Ugraph.of_digraph g in
+  Printf.printf
+    "measured age-degree Spearman correlation at t = 20000: %.3f\n\
+     (the configuration model's is ~0: that is experiment T15's contrast)\n"
+    (Sf_graph.Correlation.age_degree_spearman u)

@@ -1,0 +1,77 @@
+(* The engine of the impossibility proof, run before your eyes.
+
+   Lemma 2 of the paper: conditional on every window vertex attaching
+   into the old core (the event E_{a,b}), the window's vertices are
+   probabilistically interchangeable - relabelling them does not change
+   the distribution of the random tree.  This demo verifies that
+   exactly, by enumerating the entire probability space of small Mori
+   trees, and then shows Lemma 3's uniform probability bound and the
+   Lemma 1 arithmetic that turns both into the Omega(sqrt n) theorem.
+
+   Run with:  dune exec examples/equivalence_demo.exe *)
+
+let () =
+  let p = 0.5 in
+
+  Printf.printf "=== Lemma 2, exactly: exhaustive enumeration ===\n\n";
+  Printf.printf
+    "Mori trees with t = 8 vertices and p = %.1f: all %d outcomes enumerated.\n" p
+    (Sf_core.Enumerate.n_outcomes ~t:8);
+  List.iter
+    (fun (a, b) ->
+      let r = Sf_core.Equivalence.exact ~p ~t:8 ~a ~b in
+      Printf.printf
+        "  window V = [%d,%d]: P(E) = %.4f; %d permutations checked; max distribution\n\
+        \    discrepancy %.1e  %s\n"
+        (a + 1) b r.Sf_core.Equivalence.event_prob r.Sf_core.Equivalence.permutations_checked
+        r.Sf_core.Equivalence.max_discrepancy
+        (if r.Sf_core.Equivalence.max_discrepancy < 1e-12 then "(exchangeable: Lemma 2 holds)"
+         else "(NOT exchangeable!)");
+      ())
+    [ (4, 6); (4, 7); (5, 8); (3, 6) ];
+
+  Printf.printf
+    "\nWithout the conditioning the same windows are NOT exchangeable - age shows:\n";
+  let base = Sf_core.Enumerate.distribution ~p:0.9 ~t:7 () in
+  let sigma = Sf_graph.Permute.transposition 7 3 7 in
+  let tbl = Hashtbl.create 512 in
+  Sf_core.Enumerate.fold ~p:0.9 ~t:7 ~init:() ~f:(fun () ~prob ~fathers ->
+      let g = Sf_core.Enumerate.graph_of_fathers fathers in
+      let key = Sf_graph.Digraph.canonical_key (Sf_graph.Permute.apply sigma g) in
+      Hashtbl.replace tbl key (prob +. Option.value ~default:0. (Hashtbl.find_opt tbl key)));
+  let worst = ref 0. in
+  List.iter
+    (fun (key, prob) ->
+      let swapped = Option.value ~default:0. (Hashtbl.find_opt tbl key) in
+      worst := Float.max !worst (Float.abs (prob -. swapped)))
+    base;
+  Printf.printf
+    "  swapping vertices 3 and 7 (unconditioned, p = 0.9) shifts some tree's\n\
+    \  probability by %.3f - vertex 3 is simply older and richer.\n\n"
+    !worst;
+
+  Printf.printf "=== Lemma 3: the conditioning costs only a constant ===\n\n";
+  Printf.printf "  P(E_{a,b}) for the canonical window b = a + floor(sqrt(a-1)):\n";
+  List.iter
+    (fun a ->
+      let b = Sf_core.Events.window_end ~a in
+      Printf.printf "    a = %-9s P(E) = %.4f   (bound e^{-(1-p)} = %.4f)\n"
+        (Sf_stats.Table.fmt_int_grouped a)
+        (Sf_core.Events.prob_exact ~p ~a ~b)
+        (Sf_core.Events.lemma3_bound ~p))
+    [ 10; 1_000; 100_000; 10_000_000 ];
+
+  Printf.printf "\n=== Lemma 1: interchangeability => a lower bound ===\n\n";
+  List.iter
+    (fun n ->
+      let bound = Sf_core.Lower_bound.theorem1 ~p ~m:1 ~n in
+      Printf.printf
+        "  to find vertex n = %-9s : %4d interchangeable candidates x P(E) %.3f / 2\n\
+        \    => every algorithm needs >= %.1f expected requests\n"
+        (Sf_stats.Table.fmt_int_grouped n)
+        bound.Sf_core.Lower_bound.set_size bound.Sf_core.Lower_bound.event_prob
+        bound.Sf_core.Lower_bound.requests)
+    [ 10_000; 1_000_000; 100_000_000 ];
+  Printf.printf
+    "\n  The bound grows as sqrt(n): that is the whole of Theorem 1, with explicit\n\
+    \  constants computed by this library rather than hidden in the Omega.\n"

@@ -1,0 +1,128 @@
+(* Percolation search: buying back searchability with replication.
+
+   Sarshar, Boykin & Roychowdhury's protocol for unstructured P2P
+   networks: every content owner replicates along a short random walk;
+   a querier seeds a walk of its own and then broadcasts the query over
+   each link independently with probability q (bond percolation).  On a
+   power-law network, walks concentrate on hubs, so replicas and
+   queries meet there: above the percolation threshold the hit rate
+   jumps to ~1 while only a vanishing fraction of peers is contacted.
+
+   Run with:  dune exec examples/percolation_p2p.exe *)
+
+let run_setting rng u ~walks ~q ~trials =
+  let n = Sf_graph.Ugraph.n_vertices u in
+  let params =
+    {
+      Sf_search.Percolation.replication_walk = walks;
+      query_walk = walks;
+      broadcast_prob = q;
+      max_messages = 16 * n;
+    }
+  in
+  let hits = ref 0 in
+  let messages = Sf_stats.Summary.create () in
+  let contacted = Sf_stats.Summary.create () in
+  for _ = 1 to trials do
+    let source = 1 + Sf_prng.Rng.int rng n in
+    let target = 1 + Sf_prng.Rng.int rng n in
+    if source <> target then begin
+      let r = Sf_search.Percolation.run rng u params ~source ~target in
+      if r.Sf_search.Percolation.hit then incr hits;
+      Sf_stats.Summary.add_int messages r.Sf_search.Percolation.messages;
+      Sf_stats.Summary.add_int contacted r.Sf_search.Percolation.contacted
+    end
+  done;
+  ( float_of_int !hits /. float_of_int trials,
+    Sf_stats.Summary.mean messages,
+    Sf_stats.Summary.mean contacted /. float_of_int n )
+
+let () =
+  let rng = Sf_prng.Rng.of_seed 404 in
+  let n = 30_000 in
+  let trials = 25 in
+  let g =
+    Sf_gen.Config_model.searchable_power_law (Sf_prng.Rng.split rng) ~n ~exponent:2.2 ()
+  in
+  let u = Sf_graph.Ugraph.of_digraph g in
+  let n' = Sf_graph.Ugraph.n_vertices u in
+  let root_n = int_of_float (ceil (sqrt (float_of_int n'))) in
+  Printf.printf "power-law P2P network: %s peers (exponent 2.2)\n\n"
+    (Sf_stats.Table.fmt_int_grouped n');
+
+  (* Regime 1: sqrt(n)-length walks on both sides. Walks concentrate on
+     hubs, so replica walk and query walk intersect almost surely
+     before any broadcast is even needed. *)
+  Printf.printf
+    "regime 1 - sqrt(n) walks (length %d) on both sides, no reliance on broadcast:\n"
+    root_n;
+  let hit_rate, msgs, frac =
+    run_setting (Sf_prng.Rng.split rng) u ~walks:root_n ~q:0.0 ~trials
+  in
+  Printf.printf
+    "  hit rate %.2f with %.0f messages (%.4f of the network) - hub-concentrated\n\
+    \  walks already intersect, Sarshar et al.'s core observation.\n\n"
+    hit_rate msgs frac;
+
+  (* Regime 2: minimal replication (short walk), query spreads only by
+     bond percolation - the q-transition becomes visible. *)
+  Printf.printf
+    "regime 2 - short replication walk (length 8), query spreads by percolation only:\n";
+  Printf.printf "  broadcast q   hit rate   mean messages   fraction of peers contacted\n";
+  List.iter
+    (fun q ->
+      let params =
+        {
+          Sf_search.Percolation.replication_walk = 8;
+          query_walk = 0;
+          broadcast_prob = q;
+          max_messages = 16 * n';
+        }
+      in
+      let hits = ref 0 in
+      let messages = Sf_stats.Summary.create () in
+      let contacted = Sf_stats.Summary.create () in
+      let rng' = Sf_prng.Rng.split rng in
+      for _ = 1 to trials do
+        let source = 1 + Sf_prng.Rng.int rng' n' in
+        let target = 1 + Sf_prng.Rng.int rng' n' in
+        if source <> target then begin
+          let r = Sf_search.Percolation.run rng' u params ~source ~target in
+          if r.Sf_search.Percolation.hit then incr hits;
+          Sf_stats.Summary.add_int messages r.Sf_search.Percolation.messages;
+          Sf_stats.Summary.add_int contacted r.Sf_search.Percolation.contacted
+        end
+      done;
+      Printf.printf "     %4.2f        %5.2f     %10.0f        %6.3f\n" q
+        (float_of_int !hits /. float_of_int trials)
+        (Sf_stats.Summary.mean messages)
+        (Sf_stats.Summary.mean contacted /. float_of_int n'))
+    [ 0.02; 0.05; 0.1; 0.25; 0.5; 1.0 ];
+  Printf.printf
+    "\n  -> the percolation transition: below the threshold the query cluster dies\n\
+    \     out and lookups fail; above it the cluster reaches the hubs holding the\n\
+    \     replicas. Replication converts an unsearchable network into a\n\
+    \     searchable service - exactly the workaround the paper's lower bound\n\
+    \     motivates.\n\n";
+
+  (* without replication the same budget fails on far targets *)
+  let params_no_repl =
+    {
+      Sf_search.Percolation.replication_walk = 0;
+      query_walk = root_n;
+      broadcast_prob = 0.25;
+      max_messages = 4 * root_n;
+    }
+  in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let source = 1 + Sf_prng.Rng.int rng n' in
+    let target = 1 + Sf_prng.Rng.int rng n' in
+    if source <> target then begin
+      let r = Sf_search.Percolation.run rng u params_no_repl ~source ~target in
+      if r.Sf_search.Percolation.hit then incr hits
+    end
+  done;
+  Printf.printf
+    "control - no replication, sqrt(n)-message budget: hit rate %.2f\n"
+    (float_of_int !hits /. float_of_int trials)

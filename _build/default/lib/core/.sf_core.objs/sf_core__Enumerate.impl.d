@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Hashtbl Int64 List Rational Sf_graph

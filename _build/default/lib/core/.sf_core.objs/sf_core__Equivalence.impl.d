@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Array Buffer Enumerate Events Float Fun Hashtbl List Rational Sf_gen Sf_graph Sf_prng Sf_stats

@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Rational Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/core/events.ml: Sf_gen Sf_graph

@@ -1,0 +1,1 @@
+lib/core/events.mli: Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array Events Hashtbl List Sf_gen Sf_graph

@@ -1,0 +1,1 @@
+lib/core/lower_bound.mli: Sf_gen Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/core/max_degree.ml: Array Hashtbl List Sf_gen Sf_stats

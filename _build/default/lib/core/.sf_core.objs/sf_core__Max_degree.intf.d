@@ -1,0 +1,1 @@
+lib/core/max_degree.mli: Sf_prng Sf_stats

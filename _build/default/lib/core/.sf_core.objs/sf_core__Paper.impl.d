@@ -1,0 +1,1 @@
+lib/core/paper.ml: Buffer Equivalence Events Float List Lower_bound Max_degree Printf Searchability Sf_gen Sf_graph Sf_prng Sf_search Sf_stats String

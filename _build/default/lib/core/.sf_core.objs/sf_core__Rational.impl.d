@@ -1,0 +1,1 @@
+lib/core/rational.ml: Int64 Printf

@@ -1,0 +1,1 @@
+lib/core/searchability.ml: Array Float List Lower_bound Printf Sf_gen Sf_graph Sf_prng Sf_search Sf_stats

@@ -1,0 +1,144 @@
+module Rng = Sf_prng.Rng
+module Runner = Sf_search.Runner
+module Strategy = Sf_search.Strategy
+module Ugraph = Sf_graph.Ugraph
+
+type point = {
+  n : int;
+  strategy : string;
+  trials : int;
+  mean : float;
+  ci95 : float;
+  median : float;
+  q90 : float;
+  timeouts : int;
+  gave_up : int;
+}
+
+type metric = To_neighbor | To_target
+
+type spec = {
+  trials : int;
+  metric : metric;
+  budget : int -> int;
+  source : [ `Oldest | `Random ];
+}
+
+let default_spec =
+  { trials = 30; metric = To_neighbor; budget = (fun n -> (4 * n) + 64); source = `Oldest }
+
+let pick_source rng spec g target =
+  match spec.source with
+  | `Oldest -> if target = 1 && Ugraph.n_vertices g > 1 then 2 else 1
+  | `Random ->
+    let n = Ugraph.n_vertices g in
+    let rec draw () =
+      let v = 1 + Rng.int rng n in
+      if v = target then draw () else v
+    in
+    draw ()
+
+let trial_cost spec outcome =
+  let recorded =
+    match spec.metric with
+    | To_neighbor -> outcome.Runner.to_neighbor
+    | To_target -> outcome.Runner.to_target
+  in
+  match recorded with
+  | Some r -> (float_of_int r, false)
+  | None -> (float_of_int outcome.Runner.total_requests, true)
+
+let measure master ~make ~strategies ~sizes ~spec =
+  if spec.trials < 1 then invalid_arg "Searchability.measure: need trials >= 1";
+  let points = ref [] in
+  List.iteri
+    (fun size_idx n ->
+      List.iteri
+        (fun strat_idx strategy ->
+          let summary = Sf_stats.Summary.create () in
+          let costs = Array.make spec.trials 0. in
+          let timeouts = ref 0 and gave_up = ref 0 in
+          for trial = 0 to spec.trials - 1 do
+            (* A unique, order-independent stream per cell and trial. *)
+            let key = (((size_idx * 97) + strat_idx) * 65_537) + trial in
+            let rng = Rng.split_at master key in
+            let g, target = make rng n in
+            let source = pick_source rng spec g target in
+            let stop_at =
+              match spec.metric with
+              | To_neighbor -> Runner.At_neighbor
+              | To_target -> Runner.At_target
+            in
+            let outcome =
+              Runner.search ~budget:(spec.budget n) ~stop_at ~rng g strategy ~source
+                ~target
+            in
+            let cost, truncated = trial_cost spec outcome in
+            if truncated then incr timeouts;
+            if outcome.Runner.gave_up then incr gave_up;
+            Sf_stats.Summary.add summary cost;
+            costs.(trial) <- cost
+          done;
+          let point =
+            {
+              n;
+              strategy = strategy.Strategy.name;
+              trials = spec.trials;
+              mean = Sf_stats.Summary.mean summary;
+              ci95 = Sf_stats.Summary.ci95_halfwidth summary;
+              median = Sf_stats.Quantile.median costs;
+              q90 = Sf_stats.Quantile.quantile costs ~q:0.9;
+              timeouts = !timeouts;
+              gave_up = !gave_up;
+            }
+          in
+          points := point :: !points)
+        strategies)
+    sizes;
+  List.rev !points
+
+let mori_instance ~p ~m rng n =
+  let bound = Lower_bound.theorem1 ~p ~m ~n in
+  let g = Sf_gen.Mori.graph rng ~p ~m ~n:bound.Lower_bound.graph_size in
+  (Ugraph.of_digraph g, n)
+
+let cooper_frieze_instance params rng n =
+  let extra = int_of_float (sqrt (float_of_int n)) in
+  let g = Sf_gen.Cooper_frieze.generate_n_vertices rng params ~n:(n + extra) in
+  (Ugraph.of_digraph g, n)
+
+let config_model_instance ~exponent rng n =
+  let g = Sf_gen.Config_model.searchable_power_law rng ~n ~exponent () in
+  let u = Ugraph.of_digraph g in
+  let n' = Ugraph.n_vertices u in
+  let target = if n' <= 1 then 1 else 2 + Rng.int rng (n' - 1) in
+  (u, target)
+
+let points_to_csv points =
+  Sf_stats.Csv.to_string
+    ~header:[ "n"; "strategy"; "trials"; "mean"; "ci95"; "median"; "q90"; "timeouts"; "gave_up" ]
+    ~rows:
+      (List.map
+         (fun pt ->
+           [
+             string_of_int pt.n;
+             pt.strategy;
+             string_of_int pt.trials;
+             Printf.sprintf "%.6g" pt.mean;
+             Printf.sprintf "%.6g" pt.ci95;
+             Printf.sprintf "%.6g" pt.median;
+             Printf.sprintf "%.6g" pt.q90;
+             string_of_int pt.timeouts;
+             string_of_int pt.gave_up;
+           ])
+         points)
+
+let points_of_strategy points ~strategy =
+  List.filter (fun pt -> pt.strategy = strategy) points
+
+let exponent_fit points ~strategy =
+  let series =
+    points_of_strategy points ~strategy
+    |> List.map (fun pt -> (float_of_int pt.n, Float.max pt.mean 1e-9))
+  in
+  Sf_stats.Regression.log_log series

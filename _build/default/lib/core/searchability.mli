@@ -1,0 +1,79 @@
+(** The measurement harness confronting strategies with the lower
+    bounds: run (graph model × strategy × size) grids, aggregate
+    request counts with confidence intervals, fit scaling exponents.
+
+    Every trial owns a split random stream derived from the master
+    seed and the trial index, so grids are bit-reproducible under any
+    execution order. *)
+
+type point = {
+  n : int; (** problem size (vertices of the searched graph) *)
+  strategy : string;
+  trials : int;
+  mean : float; (** mean requests under the chosen metric *)
+  ci95 : float; (** 95% half-width *)
+  median : float;
+  q90 : float;
+  timeouts : int; (** trials truncated by the budget (their cost is
+                      counted as the budget: a conservative
+                      under-estimate, safe for lower-bound checks) *)
+  gave_up : int; (** trials where the strategy ran out of moves *)
+}
+
+type metric =
+  | To_neighbor
+      (** requests until the target's closed neighbourhood is touched
+          — the paper's complexity measure *)
+  | To_target  (** requests until the target itself is discovered *)
+
+type spec = {
+  trials : int;
+  metric : metric;
+  budget : int -> int; (** request budget as a function of [n] *)
+  source : [ `Oldest | `Random ];
+      (** where searches start: vertex 1 (the old, well-connected
+          core — the searcher-friendly choice) or a uniform non-target
+          vertex *)
+}
+
+val default_spec : spec
+(** 30 trials, {!To_neighbor}, budget [4n + 64], oldest-vertex
+    start. *)
+
+val measure :
+  Sf_prng.Rng.t ->
+  make:(Sf_prng.Rng.t -> int -> Sf_graph.Ugraph.t * int) ->
+  strategies:Sf_search.Strategy.t list ->
+  sizes:int list ->
+  spec:spec ->
+  point list
+(** [make rng n] must return a connected graph for problem size [n]
+    together with the search target. One fresh graph per trial. *)
+
+val mori_instance :
+  p:float -> m:int -> Sf_prng.Rng.t -> int -> Sf_graph.Ugraph.t * int
+(** The Theorem 1 workload: the merged Móri graph sized
+    [graph_size] from {!Lower_bound.theorem1} (so the equivalence
+    window exists), target = vertex [n]. *)
+
+val cooper_frieze_instance :
+  Sf_gen.Cooper_frieze.params -> Sf_prng.Rng.t -> int -> Sf_graph.Ugraph.t * int
+(** The Theorem 2 workload: CF graph grown to [n + ⌊√n⌋] vertices,
+    target = vertex [n]. *)
+
+val config_model_instance :
+  exponent:float -> Sf_prng.Rng.t -> int -> Sf_graph.Ugraph.t * int
+(** The Adamic et al. workload: largest component of a power-law
+    configuration graph; the target is a uniform vertex distinct from
+    the source-designate (vertex 1 after relabelling). *)
+
+val exponent_fit : point list -> strategy:string -> Sf_stats.Regression.fit
+(** Log–log fit of [mean] against [n] for one strategy's points.
+    @raise Invalid_argument with fewer than two sizes. *)
+
+val points_of_strategy : point list -> strategy:string -> point list
+
+val points_to_csv : point list -> string
+(** CSV export of a measurement grid (header: n, strategy, trials,
+    mean, ci95, median, q90, timeouts, gave_up) — the bridge to
+    external plotting tools. *)

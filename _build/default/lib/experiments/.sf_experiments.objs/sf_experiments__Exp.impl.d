@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Array Float List Printf Sf_core Sf_stats String

@@ -1,0 +1,1 @@
+lib/experiments/exp_degree.ml: Array Buffer Exp Float List Printf Sf_core Sf_gen Sf_graph Sf_prng Sf_stats

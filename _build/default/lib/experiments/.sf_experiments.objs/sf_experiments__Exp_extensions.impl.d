@@ -1,0 +1,1 @@
+lib/experiments/exp_extensions.ml: Array Buffer Exp Float Hashtbl List Option Printf Sf_core Sf_gen Sf_graph Sf_prng Sf_search Sf_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_lemmas.ml: Buffer Exp Float List Printf Sf_core Sf_graph Sf_prng Sf_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_simulation.ml: Array Buffer Exp Float Fun Hashtbl List Printf Sf_gen Sf_graph Sf_prng Sf_sim Sf_stats String

@@ -1,0 +1,1 @@
+lib/experiments/exp_smallworld.ml: Buffer Exp Float Hashtbl List Printf Sf_core Sf_gen Sf_graph Sf_prng Sf_search Sf_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_theorem1.ml: Buffer Exp List Printf Sf_core Sf_graph Sf_prng Sf_search Sf_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_theorem1.mli: Exp

@@ -1,0 +1,1 @@
+lib/experiments/exp_theorem2.ml: Buffer Exp List Printf Sf_core Sf_gen Sf_prng Sf_search Sf_stats

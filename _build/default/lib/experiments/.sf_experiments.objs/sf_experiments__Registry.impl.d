@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp Exp_baselines Exp_degree Exp_extensions Exp_lemmas Exp_simulation Exp_smallworld Exp_theorem1 Exp_theorem2 List String

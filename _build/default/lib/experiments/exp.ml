@@ -1,0 +1,92 @@
+type result = {
+  id : string;
+  title : string;
+  output : string;
+  checks : (string * bool) list;
+}
+
+let section title = Printf.sprintf "%s\n%s\n" title (String.make (String.length title) '=')
+
+let all_pass r = List.for_all snd r.checks
+let failed_checks r = List.filter_map (fun (name, ok) -> if ok then None else Some name) r.checks
+
+let fmt = Sf_stats.Table.fmt_float
+
+let fmt_opt_exponent (fit : Sf_stats.Regression.fit) =
+  Printf.sprintf "%.3f ± %.3f (r²=%.3f)" fit.Sf_stats.Regression.slope
+    fit.Sf_stats.Regression.slope_std_error fit.Sf_stats.Regression.r_squared
+
+let pick ~quick ~full is_quick = if is_quick then quick else full
+let scales ~quick ~full is_quick = pick ~quick ~full is_quick
+
+module Searchability = Sf_core.Searchability
+
+let render_points points =
+  let rows =
+    List.map
+      (fun (pt : Searchability.point) ->
+        [
+          string_of_int pt.Searchability.n;
+          pt.Searchability.strategy;
+          fmt ~digits:1 pt.Searchability.mean;
+          fmt ~digits:1 pt.Searchability.ci95;
+          fmt ~digits:1 pt.Searchability.median;
+          fmt ~digits:1 pt.Searchability.q90;
+          string_of_int pt.Searchability.timeouts;
+        ])
+      points
+  in
+  Sf_stats.Table.render
+    ~headers:[ "n"; "strategy"; "mean"; "±95%"; "median"; "q90"; "timeouts" ]
+    ~rows ()
+
+let sizes_of points =
+  List.sort_uniq compare (List.map (fun (pt : Searchability.point) -> pt.Searchability.n) points)
+
+let min_mean_by_size points =
+  List.map
+    (fun n ->
+      let at_n = List.filter (fun (pt : Searchability.point) -> pt.Searchability.n = n) points in
+      let best =
+        List.fold_left
+          (fun acc (pt : Searchability.point) -> Float.min acc pt.Searchability.mean)
+          infinity at_n
+      in
+      (n, best))
+    (sizes_of points)
+
+let scaling_figure ?(extra = []) points =
+  let strategies =
+    List.sort_uniq compare
+      (List.map (fun (pt : Searchability.point) -> pt.Searchability.strategy) points)
+  in
+  let series =
+    List.mapi
+      (fun i name ->
+        {
+          Sf_stats.Plot.label = name;
+          glyph = Sf_stats.Plot.default_glyphs.(i mod Array.length Sf_stats.Plot.default_glyphs);
+          points =
+            List.filter_map
+              (fun (pt : Searchability.point) ->
+                if pt.Searchability.strategy = name then
+                  Some (float_of_int pt.Searchability.n, Float.max 1. pt.Searchability.mean)
+                else None)
+              points;
+        })
+      strategies
+  in
+  Sf_stats.Plot.render ~x_log:true ~y_log:true ~x_label:"n" ~y_label:"mean requests"
+    (series @ extra)
+
+let best_strategy points =
+  let largest = List.fold_left max 0 (sizes_of points) in
+  let at_n = List.filter (fun (pt : Searchability.point) -> pt.Searchability.n = largest) points in
+  match at_n with
+  | [] -> invalid_arg "Exp.best_strategy: no points"
+  | first :: rest ->
+    (List.fold_left
+       (fun (acc : Searchability.point) (pt : Searchability.point) ->
+         if pt.Searchability.mean < acc.Searchability.mean then pt else acc)
+       first rest)
+      .Searchability.strategy

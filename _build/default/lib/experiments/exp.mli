@@ -1,0 +1,49 @@
+(** Shared infrastructure of the experiment suite.
+
+    Each experiment regenerates one "table" of EXPERIMENTS.md: it
+    returns the rendered table text plus a list of named boolean
+    {e shape checks} — the qualitative claims of the paper that the
+    measurements must reproduce (who wins, which exponent, bound
+    respected). The integration tests run every experiment in [quick]
+    mode and assert all checks; the bench harness runs full mode and
+    prints everything. *)
+
+type result = {
+  id : string;
+  title : string;
+  output : string; (** rendered tables/sections *)
+  checks : (string * bool) list;
+}
+
+val section : string -> string
+(** Underlined section heading. *)
+
+val all_pass : result -> bool
+
+val failed_checks : result -> string list
+
+val fmt : ?digits:int -> float -> string
+(** {!Sf_stats.Table.fmt_float}. *)
+
+val fmt_opt_exponent : Sf_stats.Regression.fit -> string
+(** "slope ± stderr (r²)" rendering of a scaling fit. *)
+
+val scales : quick:int list -> full:int list -> bool -> int list
+(** Pick the quick or full size grid. *)
+
+val pick : quick:'a -> full:'a -> bool -> 'a
+
+val render_points : Sf_core.Searchability.point list -> string
+(** Table of measurement points: one row per (n, strategy). *)
+
+val min_mean_by_size : Sf_core.Searchability.point list -> (int * float) list
+(** For each size, the cheapest strategy's mean — the empirical
+    adversary the lower bound must stay below. *)
+
+val best_strategy : Sf_core.Searchability.point list -> string
+(** Name of the strategy with the smallest mean at the largest size. *)
+
+val scaling_figure :
+  ?extra:Sf_stats.Plot.series list -> Sf_core.Searchability.point list -> string
+(** Log–log figure of mean requests against n, one glyph per strategy,
+    plus any [extra] series (typically the lower-bound curve). *)

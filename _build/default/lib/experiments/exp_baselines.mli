@@ -1,0 +1,14 @@
+(** Experiments T11 and T13: the related-work baselines on "pure"
+    power-law random graphs (Molloy–Reed), where local search {e can}
+    exploit degree structure.
+
+    T11 — Adamic et al.: the high-degree greedy beats the random walk,
+    both sublinear, with exponents ordered as the mean-field analysis
+    predicts (2(1−2/k) vs 3(1−2/k)).
+
+    T13 — Sarshar et al. percolation search: replication along random
+    walks plus probabilistic flooding finds content with high
+    probability at sublinear message cost. *)
+
+val t11_adamic : quick:bool -> seed:int -> Exp.result
+val t13_percolation : quick:bool -> seed:int -> Exp.result

@@ -1,0 +1,7 @@
+(** Experiments T8 and T9: the degree structure the theorems lean on —
+    Móri's max-degree law [max deg ≈ t^p] (the strong-model premise)
+    and the scale-free degree distributions of all three evolving
+    models. *)
+
+val t8_max_degree : quick:bool -> seed:int -> Exp.result
+val t9_degree_law : quick:bool -> seed:int -> Exp.result

@@ -1,0 +1,33 @@
+(** Experiments T15–T18: extensions beyond the paper's literal
+    statements, probing the mechanisms its proofs rely on.
+
+    - T15 — degree–degree dependence: the structural difference the
+      paper's "related works" section asserts between evolving and
+      pure random graphs, measured (assortativity, knn slope,
+      age–degree coupling, clustering, degeneracy).
+    - T16 — total-degree models: the paper's concluding remark — for
+      BA/LCD-style models the maximum degree grows like √t, so the
+      strong-model corollary becomes vacuous there.
+    - T17 — timestamp-leak ablation: edge-id timestamps break the
+      exchangeability {e proof}; do they break the {e bound}?
+      (Measured: no material gain for the leak-exploiting strategy.)
+    - T18 — window-size ablation: the Lemma-1 bound as a function of
+      the window width; the paper's ⌊√(a−1)⌋ choice is within a small
+      constant of the exact optimum. *)
+
+val t15_degree_correlations : quick:bool -> seed:int -> Exp.result
+val t16_total_degree_models : quick:bool -> seed:int -> Exp.result
+val t17_timestamp_leak : quick:bool -> seed:int -> Exp.result
+val t18_window_ablation : quick:bool -> seed:int -> Exp.result
+
+val t21_attack_tolerance : quick:bool -> seed:int -> Exp.result
+(** Albert–Jeong–Barabási attack tolerance: scale-free graphs shrug
+    off random vertex failures but shatter when the same number of
+    {e hubs} is removed; the Erdős–Rényi control degrades the same
+    way under both. The hub dependence that also concentrates search
+    traffic in every protocol studied here. *)
+
+val t23_open_problem : quick:bool -> seed:int -> Exp.result
+(** Exploratory: strong-model search where the paper's bound is
+    vacuous (p ≥ 1/2) — the regime of its closing open problem. No
+    implemented strategy turns polylogarithmic there. *)

@@ -1,0 +1,189 @@
+module Rng = Sf_prng.Rng
+module Events = Sf_core.Events
+module Equivalence = Sf_core.Equivalence
+module Table = Sf_stats.Table
+
+let t5_lemma3 ~quick ~seed =
+  let ps = Exp.pick ~quick:[ 0.25; 0.75 ] ~full:[ 0.05; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ] quick in
+  let a_values =
+    Exp.pick ~quick:[ 10; 100 ] ~full:[ 10; 100; 1_000; 10_000; 100_000; 1_000_000 ] quick
+  in
+  let mc_a_values = Exp.pick ~quick:[ 100 ] ~full:[ 100; 1_000 ] quick in
+  let mc_trials = Exp.pick ~quick:500 ~full:3_000 quick in
+  let rng = Rng.of_seed seed in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Exp.section "T5: Lemma 3 - P(E_{a,b}) for b = a + floor(sqrt(a-1))");
+  let all_above = ref true in
+  let rows =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun a ->
+            let b = Events.window_end ~a in
+            let exact = Events.prob_exact ~p ~a ~b in
+            let bound = Events.lemma3_bound ~p in
+            if exact < bound -. 1e-12 then all_above := false;
+            [
+              Exp.fmt ~digits:2 p;
+              Sf_stats.Table.fmt_int_grouped a;
+              Sf_stats.Table.fmt_int_grouped b;
+              Exp.fmt ~digits:6 exact;
+              Exp.fmt ~digits:6 bound;
+              (if exact >= bound then "yes" else "NO");
+            ])
+          a_values)
+      ps
+  in
+  Buffer.add_string buf
+    (Table.render ~headers:[ "p"; "a"; "b"; "exact P(E)"; "e^{-(1-p)}"; "P >= bound" ] ~rows ());
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "Monte-Carlo cross-check of the closed form:\n";
+  let mc_ok = ref true in
+  let mc_rows =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun a ->
+            let b = Events.window_end ~a in
+            let exact = Events.prob_exact ~p ~a ~b in
+            let est, se = Events.prob_monte_carlo rng ~p ~a ~b ~trials:mc_trials in
+            let gap = Float.abs (est -. exact) in
+            if gap > (4. *. se) +. 1e-6 then mc_ok := false;
+            [
+              Exp.fmt ~digits:2 p;
+              Sf_stats.Table.fmt_int_grouped a;
+              Exp.fmt ~digits:4 exact;
+              Exp.fmt ~digits:4 est;
+              Exp.fmt ~digits:4 se;
+            ])
+          mc_a_values)
+      (Exp.pick ~quick:[ 0.5 ] ~full:[ 0.25; 0.5; 0.9 ] quick)
+  in
+  Buffer.add_string buf
+    (Table.render ~headers:[ "p"; "a"; "exact"; "MC estimate"; "MC se" ] ~rows:mc_rows ());
+  {
+    Exp.id = "T5";
+    title = "Lemma 3: the containment event has constant probability";
+    output = Buffer.contents buf;
+    checks =
+      [
+        ("exact P(E_{a,b}) >= e^{-(1-p)} over the whole grid", !all_above);
+        ("Monte-Carlo within 4 standard errors of the closed form", !mc_ok);
+      ];
+  }
+
+let t6_lemma2 ~quick ~seed =
+  let exact_cases =
+    Exp.pick
+      ~quick:[ (0.5, 7, 3, 6); (0.8, 7, 4, 6) ]
+      ~full:[ (0.5, 8, 4, 7); (0.8, 8, 3, 6); (0.3, 9, 5, 8); (1.0, 7, 3, 6); (0.6, 9, 4, 8) ]
+      quick
+  in
+  let rng = Rng.of_seed seed in
+  let buf = Buffer.create 4096 in
+  let checks = ref [] in
+  Buffer.add_string buf
+    (Exp.section "T6: Lemma 2 - exact conditional equivalence by exhaustive enumeration");
+  let rows =
+    List.map
+      (fun (p, t, a, b) ->
+        let r = Equivalence.exact ~p ~t ~a ~b in
+        checks :=
+          ( Printf.sprintf "exact equivalence at p=%.2f t=%d window [%d,%d]" p t (a + 1) b,
+            r.Equivalence.max_discrepancy < 1e-12 )
+          :: !checks;
+        [
+          Exp.fmt ~digits:2 p;
+          string_of_int t;
+          Printf.sprintf "[%d,%d]" (a + 1) b;
+          Sf_stats.Table.fmt_int_grouped r.Equivalence.n_outcomes;
+          Exp.fmt ~digits:6 r.Equivalence.event_prob;
+          string_of_int r.Equivalence.permutations_checked;
+          Sf_stats.Table.fmt_sci r.Equivalence.max_discrepancy;
+        ])
+      exact_cases
+  in
+  Buffer.add_string buf
+    (Table.render
+       ~headers:[ "p"; "t"; "window V"; "outcomes"; "P(E)"; "sigmas"; "max discrepancy" ]
+       ~rows ());
+  Buffer.add_char buf '\n';
+  (* exact rational certificates: zero floating point *)
+  Buffer.add_string buf
+    "Exact rational certificates (no floating point - fraction-by-fraction equality):\n";
+  let rational_cases =
+    Exp.pick ~quick:[ (1, 2, 7, 3, 6) ]
+      ~full:[ (1, 2, 8, 4, 7); (3, 4, 9, 5, 8); (1, 10, 7, 3, 6); (9, 10, 9, 4, 8) ]
+      quick
+  in
+  let rational_rows =
+    List.map
+      (fun (pn, pd, t, a, b) ->
+        let r = Equivalence.exact_rational ~p_num:pn ~p_den:pd ~t ~a ~b in
+        checks :=
+          ( Printf.sprintf "rational certificate p=%d/%d t=%d window [%d,%d]" pn pd t (a + 1) b,
+            r.Equivalence.equal )
+          :: !checks;
+        [
+          Printf.sprintf "%d/%d" pn pd;
+          string_of_int t;
+          Printf.sprintf "[%d,%d]" (a + 1) b;
+          Sf_core.Rational.to_string r.Equivalence.event_prob;
+          (if r.Equivalence.equal then "laws exactly equal" else "MISMATCH");
+        ])
+      rational_cases
+  in
+  Buffer.add_string buf
+    (Table.render ~headers:[ "p"; "t"; "window V"; "P(E) exact fraction"; "verdict" ]
+       ~rows:rational_rows ());
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "Permutation tests at experiment scale (statistic: window indegree/father profile):\n";
+  let mc_trials = Exp.pick ~quick:600 ~full:3_000 quick in
+  let a = Exp.pick ~quick:30 ~full:80 quick in
+  let b = Events.window_end ~a in
+  let sigma = Equivalence.random_window_sigma rng ~t:b ~a ~b in
+  let conditioned =
+    Equivalence.monte_carlo rng ~p:0.5 ~t:b ~a ~b ~trials:mc_trials ~sigma ~conditioned:true
+  in
+  let t_neg = Exp.pick ~quick:40 ~full:80 quick in
+  (* negative control: an old unconditioned window [3, 7]; vertex 3 is
+     stochastically much richer than vertex 7, so swapping them must
+     be detected *)
+  let sigma_neg = Sf_graph.Permute.transposition t_neg 3 7 in
+  let unconditioned =
+    Equivalence.monte_carlo rng ~p:0.9 ~t:t_neg ~a:2 ~b:7 ~trials:mc_trials ~sigma:sigma_neg
+      ~conditioned:false
+  in
+  Buffer.add_string buf
+    (Table.render
+       ~headers:[ "setup"; "trials"; "chi^2"; "dof"; "p-value"; "TV distance" ]
+       ~rows:
+         [
+           [
+             Printf.sprintf "conditioned on E, window [%d,%d]" (a + 1) b;
+             string_of_int conditioned.Equivalence.trials;
+             Exp.fmt ~digits:2 conditioned.Equivalence.chi_square;
+             string_of_int conditioned.Equivalence.dof;
+             Exp.fmt ~digits:4 conditioned.Equivalence.p_value;
+             Exp.fmt ~digits:4 conditioned.Equivalence.tv_distance;
+           ];
+           [
+             Printf.sprintf "negative control: unconditioned, window [3,7] of t=%d" t_neg;
+             string_of_int unconditioned.Equivalence.trials;
+             Exp.fmt ~digits:2 unconditioned.Equivalence.chi_square;
+             string_of_int unconditioned.Equivalence.dof;
+             Sf_stats.Table.fmt_sci unconditioned.Equivalence.p_value;
+             Exp.fmt ~digits:4 unconditioned.Equivalence.tv_distance;
+           ];
+         ]
+       ());
+  checks :=
+    ("conditioned permutation test does not reject", conditioned.Equivalence.p_value > 0.001)
+    :: ("negative control rejects", unconditioned.Equivalence.p_value < 1e-3)
+    :: !checks;
+  {
+    Exp.id = "T6";
+    title = "Lemma 2: conditional vertex equivalence, exactly and statistically";
+    output = Buffer.contents buf;
+    checks = List.rev !checks;
+  }

@@ -1,0 +1,13 @@
+(** Experiments T5 and T6: the probabilistic machinery behind the
+    theorems — Lemma 3's event-probability bound and Lemma 2's
+    conditional vertex equivalence. *)
+
+val t5_lemma3 : quick:bool -> seed:int -> Exp.result
+(** Exact closed-form P(E_{a,b}) over the (p, a) grid vs the paper's
+    e^{-(1-p)} bound, with Monte-Carlo cross-checks. *)
+
+val t6_lemma2 : quick:bool -> seed:int -> Exp.result
+(** Exhaustive exact verification of conditional equivalence at small
+    t, plus conditioned/unconditioned permutation tests at larger
+    sizes (the unconditioned wide-window test is the negative
+    control). *)

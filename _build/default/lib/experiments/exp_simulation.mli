@@ -1,0 +1,27 @@
+(** Experiment T19: the deployment view.
+
+    The oracle experiments count requests; deployed P2P systems care
+    about wall-clock latency and total traffic of {e concurrent}
+    query propagation. T19 runs Gnutella-style flooding, Lv et al.'s
+    k-walkers and Sarshar-style percolation spread as discrete-event
+    simulations over a power-law overlay and reproduces the classic
+    traffic/latency tradeoff: flooding is fast but broadcast-priced,
+    walkers are cheap but slow, percolation sits between. *)
+
+val t19_protocol_tradeoff : quick:bool -> seed:int -> Exp.result
+
+(** Experiment T20: Cohen–Shenker replication. With random-walk
+    search, allocating replicas proportionally to the {e square root}
+    of item popularity minimises expected search size; uniform and
+    popularity-proportional allocation tie with each other and lose.
+    The other classic of the unstructured-P2P literature the paper's
+    motivation leans on, reproduced in the simulator. *)
+
+val t20_sqrt_replication : quick:bool -> seed:int -> Exp.result
+
+(** Experiment T22: churn. Hit rates of flooding and k-walkers as the
+    overlay's stationary uptime drops — redundancy (flood branches,
+    many walkers) buys robustness, single walkers die with the nodes
+    they stand on. *)
+
+val t22_churn : quick:bool -> seed:int -> Exp.result

@@ -1,0 +1,12 @@
+(** Experiments T10 and T12: the small-world contrast.
+
+    T10 — the scale-free models have logarithmic diameter, so the
+    Ω(√n) search bound is a genuine gap between {e distance} and
+    {e searchability} (the paper's concluding point).
+
+    T12 — Kleinberg's lattice: with the metric exponent r = 2 greedy
+    routing is polylogarithmic; away from 2 it is polynomial. The kind
+    of navigability scale-free graphs lack. *)
+
+val t10_diameter : quick:bool -> seed:int -> Exp.result
+val t12_kleinberg : quick:bool -> seed:int -> Exp.result

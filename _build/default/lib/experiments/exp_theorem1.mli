@@ -1,0 +1,24 @@
+(** Experiments T1, T2, T3, T7 and T14: Theorem 1 on the (merged) Móri
+    graph — weak-model Ω(√n), the merged variant, the strong model,
+    the explicit Lemma 1 bound versus the measured adversary, and the
+    strong→weak simulation factor. *)
+
+val t1_weak_mori : quick:bool -> seed:int -> Exp.result
+(** Weak model, m = 1: measured request complexity of the whole
+    strategy portfolio across p and n, with scaling exponents; every
+    point must respect the explicit Theorem 1 bound. *)
+
+val t2_merged_mori : quick:bool -> seed:int -> Exp.result
+(** Same for the merged graph, m ∈ {2, 4}: merging does not help. *)
+
+val t3_strong_mori : quick:bool -> seed:int -> Exp.result
+(** Strong model, p < 1/2: fitted exponents at least ~(1/2 − p). *)
+
+val t7_bound_vs_measured : quick:bool -> seed:int -> Exp.result
+(** The explicit bound |V|·P(E)/2 against the cheapest measured
+    strategy, size by size: ratio ≥ 1 everywhere. *)
+
+val t14_simulation_factor : quick:bool -> seed:int -> Exp.result
+(** The proof's strong→weak reduction, measured: replaying a strong
+    run as weak requests costs at most (max degree + 1) × strong
+    requests. *)

@@ -1,0 +1,110 @@
+module Rng = Sf_prng.Rng
+module Searchability = Sf_core.Searchability
+module Lower_bound = Sf_core.Lower_bound
+module Strategies = Sf_search.Strategies
+module Cooper_frieze = Sf_gen.Cooper_frieze
+module Table = Sf_stats.Table
+
+let estimate_bounds rng params sizes ~trials =
+  List.map
+    (fun n ->
+      (n, Lower_bound.theorem2_estimate rng params ~n ~trials ()))
+    sizes
+
+let t4_cooper_frieze ~quick ~seed =
+  let alphas = Exp.pick ~quick:[ 0.5 ] ~full:[ 0.33; 0.5; 0.9 ] quick in
+  let sizes = Exp.scales ~quick:[ 200; 400 ] ~full:[ 500; 1_000; 2_000; 4_000; 8_000 ] quick in
+  let bound_sizes = Exp.scales ~quick:[ 200 ] ~full:[ 500; 2_000; 8_000 ] quick in
+  let trials = Exp.pick ~quick:4 ~full:15 quick in
+  let bound_trials = Exp.pick ~quick:20 ~full:120 quick in
+  let strategies =
+    Exp.pick
+      ~quick:[ Strategies.bfs; Strategies.high_degree ]
+      ~full:(Strategies.weak_portfolio ())
+      quick
+  in
+  let buf = Buffer.create 4096 in
+  let checks = ref [] in
+  List.iter
+    (fun alpha ->
+      let params = { Cooper_frieze.default with Cooper_frieze.alpha } in
+      let rng = Rng.split_at (Rng.of_seed seed) (4000 + int_of_float (alpha *. 100.)) in
+      let spec = { Searchability.default_spec with Searchability.trials } in
+      let points =
+        Searchability.measure rng
+          ~make:(Searchability.cooper_frieze_instance params)
+          ~strategies ~sizes ~spec
+      in
+      let bounds = estimate_bounds (Rng.split rng) params bound_sizes ~trials:bound_trials in
+      Buffer.add_string buf
+        (Exp.section (Printf.sprintf "T4: weak model, Cooper-Frieze graphs, alpha = %.2f" alpha));
+      Buffer.add_string buf
+        (Table.render
+           ~headers:
+             [ "n"; "window"; "event rate (MC)"; "±se"; "mean class |V|"; "estimated bound" ]
+           ~rows:
+             (List.map
+                (fun (n, (est : Lower_bound.cf_estimate)) ->
+                  [
+                    string_of_int n;
+                    string_of_int est.Lower_bound.window;
+                    Exp.fmt ~digits:3 est.Lower_bound.event_rate;
+                    Exp.fmt ~digits:3 est.Lower_bound.event_rate_se;
+                    Exp.fmt ~digits:1 est.Lower_bound.mean_class_size;
+                    Exp.fmt ~digits:2 est.Lower_bound.requests;
+                  ])
+                bounds)
+           ());
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Exp.render_points points);
+      Buffer.add_char buf '\n';
+      let strategies_names =
+        List.sort_uniq compare
+          (List.map (fun (pt : Searchability.point) -> pt.Searchability.strategy) points)
+      in
+      let fits =
+        List.map (fun s -> (s, Searchability.exponent_fit points ~strategy:s)) strategies_names
+      in
+      Buffer.add_string buf
+        (Table.render ~headers:[ "strategy"; "fitted exponent" ]
+           ~rows:(List.map (fun (s, fit) -> [ s; Exp.fmt_opt_exponent fit ]) fits)
+           ());
+      Buffer.add_char buf '\n';
+      (* check: the cheapest strategy never undercuts the estimated
+         bound at the sizes where the bound was estimated *)
+      let min_means = Exp.min_mean_by_size points in
+      let bound_ok =
+        List.for_all
+          (fun (n, (est : Lower_bound.cf_estimate)) ->
+            match List.assoc_opt n min_means with
+            | Some mean -> mean >= est.Lower_bound.requests
+            | None -> true)
+          bounds
+      in
+      checks :=
+        (Printf.sprintf "alpha=%.2f: measured means above the estimated bound" alpha, bound_ok)
+        :: !checks;
+      let rate_positive =
+        List.for_all
+          (fun (_, (est : Lower_bound.cf_estimate)) -> est.Lower_bound.event_rate > 0.02)
+          bounds
+      in
+      checks :=
+        ( Printf.sprintf "alpha=%.2f: equivalence event keeps positive probability" alpha,
+          rate_positive )
+        :: !checks;
+      if not quick then begin
+        let best = Exp.best_strategy points in
+        let fit = List.assoc best fits in
+        checks :=
+          ( Printf.sprintf "alpha=%.2f: best strategy (%s) exponent >= 0.35" alpha best,
+            fit.Sf_stats.Regression.slope >= 0.35 )
+          :: !checks
+      end)
+    alphas;
+  {
+    Exp.id = "T4";
+    title = "Theorem 2: Omega(sqrt n) on Cooper-Frieze graphs, 0 < alpha < 1";
+    output = Buffer.contents buf;
+    checks = List.rev !checks;
+  }

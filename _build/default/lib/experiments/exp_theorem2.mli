@@ -1,0 +1,5 @@
+(** Experiment T4: Theorem 2 — weak-model Ω(√n) on Cooper–Frieze
+    graphs, for several values of α, with the Monte-Carlo
+    instantiation of the equivalence-event bound. *)
+
+val t4_cooper_frieze : quick:bool -> seed:int -> Exp.result

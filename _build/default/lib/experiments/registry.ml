@@ -1,0 +1,94 @@
+type entry = {
+  id : string;
+  title : string;
+  run : quick:bool -> seed:int -> Exp.result;
+}
+
+let all =
+  [
+    {
+      id = "T1";
+      title = "Theorem 1 weak model, m = 1 (Mori tree)";
+      run = Exp_theorem1.t1_weak_mori;
+    };
+    {
+      id = "T2";
+      title = "Theorem 1 weak model, merged Mori graph (m > 1)";
+      run = Exp_theorem1.t2_merged_mori;
+    };
+    {
+      id = "T3";
+      title = "Theorem 1 strong model (p < 1/2)";
+      run = Exp_theorem1.t3_strong_mori;
+    };
+    { id = "T4"; title = "Theorem 2 (Cooper-Frieze)"; run = Exp_theorem2.t4_cooper_frieze };
+    { id = "T5"; title = "Lemma 3 event probability"; run = Exp_lemmas.t5_lemma3 };
+    { id = "T6"; title = "Lemma 2 vertex equivalence"; run = Exp_lemmas.t6_lemma2 };
+    {
+      id = "T7";
+      title = "Lemma 1 explicit bound vs measured";
+      run = Exp_theorem1.t7_bound_vs_measured;
+    };
+    { id = "T8"; title = "Mori max-degree law"; run = Exp_degree.t8_max_degree };
+    { id = "T9"; title = "Scale-free degree laws"; run = Exp_degree.t9_degree_law };
+    { id = "T10"; title = "Low diameter vs search cost"; run = Exp_smallworld.t10_diameter };
+    { id = "T11"; title = "Adamic et al. baseline"; run = Exp_baselines.t11_adamic };
+    { id = "T12"; title = "Kleinberg navigability contrast"; run = Exp_smallworld.t12_kleinberg };
+    { id = "T13"; title = "Sarshar percolation search"; run = Exp_baselines.t13_percolation };
+    {
+      id = "T14";
+      title = "Strong-to-weak simulation factor";
+      run = Exp_theorem1.t14_simulation_factor;
+    };
+    {
+      id = "T15";
+      title = "Neighbour-degree dependence (evolving vs pure random)";
+      run = Exp_extensions.t15_degree_correlations;
+    };
+    {
+      id = "T16";
+      title = "Total-degree models: max degree ~ sqrt(t)";
+      run = Exp_extensions.t16_total_degree_models;
+    };
+    {
+      id = "T17";
+      title = "Timestamp-leak ablation";
+      run = Exp_extensions.t17_timestamp_leak;
+    };
+    {
+      id = "T18";
+      title = "Window-size ablation for Lemma 1";
+      run = Exp_extensions.t18_window_ablation;
+    };
+    {
+      id = "T19";
+      title = "Protocol traffic/latency tradeoff (discrete-event)";
+      run = Exp_simulation.t19_protocol_tradeoff;
+    };
+    {
+      id = "T20";
+      title = "Cohen-Shenker square-root replication";
+      run = Exp_simulation.t20_sqrt_replication;
+    };
+    {
+      id = "T21";
+      title = "Attack tolerance: random failure vs hub removal";
+      run = Exp_extensions.t21_attack_tolerance;
+    };
+    {
+      id = "T22";
+      title = "Lookups under churn";
+      run = Exp_simulation.t22_churn;
+    };
+    {
+      id = "T23";
+      title = "Open problem probe: strong model at p >= 1/2";
+      run = Exp_extensions.t23_open_problem;
+    };
+  ]
+
+let find id =
+  let needle = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = needle) all
+
+let ids () = List.map (fun e -> e.id) all

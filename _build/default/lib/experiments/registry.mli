@@ -1,0 +1,16 @@
+(** The experiment registry: every table of EXPERIMENTS.md, runnable by
+    id from the bench harness, the CLI and the tests. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : quick:bool -> seed:int -> Exp.result;
+}
+
+val all : entry list
+(** In presentation order T1 … T14. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by id. *)
+
+val ids : unit -> string list

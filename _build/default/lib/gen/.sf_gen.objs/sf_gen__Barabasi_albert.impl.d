@@ -1,0 +1,1 @@
+lib/gen/barabasi_albert.ml: Sf_graph Sf_prng

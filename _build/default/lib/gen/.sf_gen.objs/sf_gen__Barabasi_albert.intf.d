@@ -1,0 +1,1 @@
+lib/gen/barabasi_albert.mli: Sf_graph Sf_prng

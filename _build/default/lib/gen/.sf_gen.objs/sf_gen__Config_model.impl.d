@@ -1,0 +1,1 @@
+lib/gen/config_model.ml: Array Hashtbl Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/gen/config_model.mli: Sf_graph Sf_prng

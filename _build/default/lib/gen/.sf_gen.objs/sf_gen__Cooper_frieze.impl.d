@@ -1,0 +1,1 @@
+lib/gen/cooper_frieze.ml: Array Float List Result Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/gen/cooper_frieze.mli: Sf_graph Sf_prng

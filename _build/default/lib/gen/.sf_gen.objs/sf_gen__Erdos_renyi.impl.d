@@ -1,0 +1,1 @@
+lib/gen/erdos_renyi.ml: Hashtbl Sf_graph Sf_prng

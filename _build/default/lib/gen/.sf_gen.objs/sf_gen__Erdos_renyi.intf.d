@@ -1,0 +1,1 @@
+lib/gen/erdos_renyi.mli: Sf_graph Sf_prng

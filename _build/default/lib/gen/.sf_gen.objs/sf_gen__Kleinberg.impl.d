@@ -1,0 +1,1 @@
+lib/gen/kleinberg.ml: Array Sf_graph Sf_prng

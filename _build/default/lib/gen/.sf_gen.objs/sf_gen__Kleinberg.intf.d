@@ -1,0 +1,1 @@
+lib/gen/kleinberg.mli: Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/gen/lcd.ml: Mori Sf_graph Sf_prng

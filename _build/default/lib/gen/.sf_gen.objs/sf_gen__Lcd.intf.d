@@ -1,0 +1,1 @@
+lib/gen/lcd.mli: Sf_graph Sf_prng

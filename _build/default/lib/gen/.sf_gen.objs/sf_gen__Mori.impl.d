@@ -1,0 +1,1 @@
+lib/gen/mori.ml: Array Sf_graph Sf_prng

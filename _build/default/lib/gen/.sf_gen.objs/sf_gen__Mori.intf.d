@@ -1,0 +1,1 @@
+lib/gen/mori.mli: Sf_graph Sf_prng

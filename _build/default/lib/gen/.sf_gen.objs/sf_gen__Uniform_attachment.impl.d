@@ -1,0 +1,1 @@
+lib/gen/uniform_attachment.ml: Sf_graph Sf_prng

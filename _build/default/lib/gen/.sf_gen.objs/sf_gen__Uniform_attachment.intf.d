@@ -1,0 +1,1 @@
+lib/gen/uniform_attachment.mli: Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/gen/watts_strogatz.ml: Hashtbl Sf_graph Sf_prng

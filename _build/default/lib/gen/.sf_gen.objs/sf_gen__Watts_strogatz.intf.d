@@ -1,0 +1,1 @@
+lib/gen/watts_strogatz.mli: Sf_graph Sf_prng

@@ -1,0 +1,27 @@
+module Rng = Sf_prng.Rng
+module Digraph = Sf_graph.Digraph
+module Vec = Sf_graph.Vec
+
+let generate rng ~n ~m =
+  if n < 2 then invalid_arg "Barabasi_albert.generate: need n >= 2";
+  if m < 1 then invalid_arg "Barabasi_albert.generate: need m >= 1";
+  let g = Digraph.create ~expected_vertices:n () in
+  Digraph.add_vertices g 2;
+  ignore (Digraph.add_edge g ~src:2 ~dst:1);
+  (* [ends] holds every edge endpoint; a uniform entry is a vertex drawn
+     proportionally to total degree. *)
+  let ends = Vec.create ~capacity:(2 * n * m) () in
+  Vec.push ends 2;
+  Vec.push ends 1;
+  for _ = 3 to n do
+    let v = Digraph.add_vertex g in
+    for _ = 1 to m do
+      let target = Vec.get ends (Rng.int rng (Vec.length ends)) in
+      ignore (Digraph.add_edge g ~src:v ~dst:target);
+      Vec.push ends v;
+      Vec.push ends target
+    done
+  done;
+  g
+
+let degree_exponent = 3.

@@ -1,0 +1,68 @@
+module Rng = Sf_prng.Rng
+module Digraph = Sf_graph.Digraph
+
+let of_degree_sequence rng deg =
+  let n = Array.length deg in
+  Array.iter (fun d -> if d < 0 then invalid_arg "Config_model: negative degree") deg;
+  let total = Array.fold_left ( + ) 0 deg in
+  if total mod 2 <> 0 then invalid_arg "Config_model: degree sum must be even";
+  (* One stub per half-edge; a uniform shuffle then pairing adjacent
+     stubs is a uniform perfect matching. *)
+  let stubs = Array.make total 0 in
+  let idx = ref 0 in
+  Array.iteri
+    (fun i d ->
+      for _ = 1 to d do
+        stubs.(!idx) <- i + 1;
+        incr idx
+      done)
+    deg;
+  Sf_prng.Shuffle.in_place rng stubs;
+  let g = Digraph.create ~expected_vertices:n () in
+  Digraph.add_vertices g n;
+  let i = ref 0 in
+  while !i + 1 < total do
+    ignore (Digraph.add_edge g ~src:stubs.(!i) ~dst:stubs.(!i + 1));
+    i := !i + 2
+  done;
+  g
+
+let natural_cutoff ~n ~exponent =
+  let c = int_of_float (float_of_int n ** (1. /. (exponent -. 1.))) in
+  max 1 (min c (n - 1))
+
+let power_law_degrees rng ~n ~exponent ~d_min ?d_max () =
+  if n < 1 then invalid_arg "Config_model.power_law_degrees: need n >= 1";
+  if d_min < 1 then invalid_arg "Config_model.power_law_degrees: need d_min >= 1";
+  let d_max = match d_max with Some d -> d | None -> max d_min (natural_cutoff ~n ~exponent) in
+  if d_max < d_min then invalid_arg "Config_model.power_law_degrees: d_max < d_min";
+  let deg = Sf_prng.Dist.discrete_power_law_sequence rng ~exponent ~d_min ~d_max ~n in
+  let total = Array.fold_left ( + ) 0 deg in
+  if total mod 2 <> 0 then begin
+    let v = Rng.int rng n in
+    deg.(v) <- deg.(v) + 1
+  end;
+  deg
+
+let power_law rng ~n ~exponent ?(d_min = 1) ?d_max () =
+  of_degree_sequence rng (power_law_degrees rng ~n ~exponent ~d_min ?d_max ())
+
+let simple_graph g =
+  let n = Digraph.n_vertices g in
+  let seen = Hashtbl.create (Digraph.n_edges g) in
+  let g' = Digraph.create ~expected_vertices:n () in
+  Digraph.add_vertices g' n;
+  Digraph.iter_edges g (fun e ->
+      let s = e.Digraph.src and d = e.Digraph.dst in
+      if s <> d then begin
+        let key = (min s d, max s d) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          ignore (Digraph.add_edge g' ~src:s ~dst:d)
+        end
+      end);
+  g'
+
+let searchable_power_law rng ~n ~exponent ?(d_min = 2) ?d_max () =
+  let g = power_law rng ~n ~exponent ~d_min ?d_max () in
+  fst (Sf_graph.Subgraph.largest_component (simple_graph g))

@@ -1,0 +1,152 @@
+module Rng = Sf_prng.Rng
+module Digraph = Sf_graph.Digraph
+module Vec = Sf_graph.Vec
+
+type out_degree_dist = (int * float) list
+type preference = In_degree | Total_degree
+
+type params = {
+  alpha : float;
+  beta : float;
+  gamma : float;
+  delta : float;
+  q : out_degree_dist;
+  p_dist : out_degree_dist;
+  preference : preference;
+}
+
+let default =
+  {
+    alpha = 0.5;
+    beta = 0.5;
+    gamma = 0.5;
+    delta = 0.5;
+    q = [ (1, 0.5); (2, 0.5) ];
+    p_dist = [ (1, 0.5); (2, 0.5) ];
+    preference = In_degree;
+  }
+
+let validate_dist name dist =
+  if dist = [] then Error (name ^ ": empty distribution")
+  else if List.exists (fun (v, _) -> v < 1) dist then Error (name ^ ": out-degree values must be >= 1")
+  else if List.exists (fun (_, p) -> p < 0.) dist then Error (name ^ ": negative probability")
+  else begin
+    let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. dist in
+    if Float.abs (total -. 1.) > 1e-9 then Error (name ^ ": probabilities must sum to 1")
+    else Ok ()
+  end
+
+let validate params =
+  let in_unit name x = if x < 0. || x > 1. then Error (name ^ ": must lie in [0, 1]") else Ok () in
+  let ( let* ) = Result.bind in
+  let* () = in_unit "alpha" params.alpha in
+  let* () = in_unit "beta" params.beta in
+  let* () = in_unit "gamma" params.gamma in
+  let* () = in_unit "delta" params.delta in
+  let* () = validate_dist "q" params.q in
+  validate_dist "p_dist" params.p_dist
+
+let sample_dist rng dist =
+  let u = Rng.unit_float rng in
+  let rec go acc = function
+    | [] -> fst (List.hd (List.rev dist))
+    | (v, p) :: rest ->
+      let acc = acc +. p in
+      if u < acc then v else go acc rest
+  in
+  go 0. dist
+
+let mean_out_degree dist = List.fold_left (fun acc (v, p) -> acc +. (float_of_int v *. p)) 0. dist
+
+(* Growth state: the endpoint list realising degree-proportional choice.
+   For indegree preference it records edge destinations; for total
+   degree, both endpoints. *)
+type state = { g : Digraph.t; ends : Vec.t; preference : preference }
+
+let initial preference =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertex g);
+  ignore (Digraph.add_edge g ~src:1 ~dst:1);
+  let ends = Vec.create () in
+  Vec.push ends 1;
+  if preference = Total_degree then Vec.push ends 1;
+  { g; ends; preference }
+
+let preferential_vertex st rng = Vec.get st.ends (Rng.int rng (Vec.length st.ends))
+let uniform_vertex st rng = 1 + Rng.int rng (Digraph.n_vertices st.g)
+
+let record_edge st ~src ~dst =
+  ignore (Digraph.add_edge st.g ~src ~dst);
+  Vec.push st.ends dst;
+  if st.preference = Total_degree then Vec.push st.ends src
+
+let add_out_edges st rng ~src ~count ~pref_prob =
+  for _ = 1 to count do
+    let dst =
+      if Rng.bernoulli rng pref_prob then preferential_vertex st rng
+      else uniform_vertex st rng
+    in
+    record_edge st ~src ~dst
+  done
+
+let step ?(on_new = fun _ _ -> ()) st rng params =
+  if Rng.bernoulli rng params.alpha then begin
+    (* NEW: the new vertex is not a candidate endpoint of its own edges
+       (endpoints are chosen among "existing" vertices first). *)
+    let count = sample_dist rng params.q in
+    let targets =
+      List.init count (fun _ ->
+          if Rng.bernoulli rng params.beta then preferential_vertex st rng
+          else uniform_vertex st rng)
+    in
+    let v = Digraph.add_vertex st.g in
+    List.iter (fun dst -> record_edge st ~src:v ~dst) targets;
+    on_new v count
+  end
+  else begin
+    let src =
+      if Rng.bernoulli rng params.delta then uniform_vertex st rng
+      else preferential_vertex st rng
+    in
+    let count = sample_dist rng params.p_dist in
+    add_out_edges st rng ~src ~count ~pref_prob:params.gamma
+  end
+
+let check params =
+  match validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cooper_frieze: " ^ msg)
+
+let generate rng params ~steps =
+  check params;
+  if steps < 0 then invalid_arg "Cooper_frieze.generate: steps must be non-negative";
+  let st = initial params.preference in
+  for _ = 1 to steps do
+    step st rng params
+  done;
+  st.g
+
+let generate_n_vertices rng params ~n =
+  check params;
+  if n < 1 then invalid_arg "Cooper_frieze.generate_n_vertices: need n >= 1";
+  if params.alpha <= 0. then invalid_arg "Cooper_frieze.generate_n_vertices: alpha must be positive";
+  let st = initial params.preference in
+  while Digraph.n_vertices st.g < n do
+    step st rng params
+  done;
+  st.g
+
+let generate_n_vertices_traced rng params ~n =
+  check params;
+  if n < 1 then invalid_arg "Cooper_frieze.generate_n_vertices_traced: need n >= 1";
+  if params.alpha <= 0. then
+    invalid_arg "Cooper_frieze.generate_n_vertices_traced: alpha must be positive";
+  let st = initial params.preference in
+  let arrivals = ref [ (1, 1) ] (* vertex 1 is born with its self-loop *) in
+  let on_new v count = arrivals := (v, count) :: !arrivals in
+  while Digraph.n_vertices st.g < n do
+    step ~on_new st rng params
+  done;
+  let arrival = Array.make (Digraph.n_vertices st.g) 0 in
+  List.iter (fun (v, count) -> arrival.(v - 1) <- count) !arrivals;
+  (st.g, arrival)

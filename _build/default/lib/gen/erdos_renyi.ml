@@ -1,0 +1,49 @@
+module Rng = Sf_prng.Rng
+module Digraph = Sf_graph.Digraph
+
+let gnm rng ~n ~m =
+  if n < 0 || m < 0 then invalid_arg "Erdos_renyi.gnm: negative parameter";
+  let max_edges = n * (n - 1) / 2 in
+  if m > max_edges then invalid_arg "Erdos_renyi.gnm: too many edges requested";
+  let g = Digraph.create ~expected_vertices:n () in
+  Digraph.add_vertices g n;
+  let seen = Hashtbl.create (2 * m) in
+  let added = ref 0 in
+  while !added < m do
+    let u = 1 + Rng.int rng n and v = 1 + Rng.int rng n in
+    if u <> v then begin
+      let key = (min u v, max u v) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        ignore (Digraph.add_edge g ~src:u ~dst:v);
+        incr added
+      end
+    end
+  done;
+  g
+
+let gnp rng ~n ~p =
+  if n < 0 then invalid_arg "Erdos_renyi.gnp: negative n";
+  if p < 0. || p > 1. then invalid_arg "Erdos_renyi.gnp: p must lie in [0, 1]";
+  let g = Digraph.create ~expected_vertices:n () in
+  Digraph.add_vertices g n;
+  if p > 0. then begin
+    (* Enumerate present pairs directly: jump over absent pairs with
+       geometric gaps in the linearised pair order. *)
+    let total = n * (n - 1) / 2 in
+    let unrank k =
+      (* Pair index k (0-based) in lexicographic (u, v) order, u < v. *)
+      let rec find u acc =
+        let row = n - u in
+        if k < acc + row then (u, u + 1 + (k - acc)) else find (u + 1) (acc + row)
+      in
+      find 1 0
+    in
+    let pos = ref (if p >= 1. then 0 else Sf_prng.Dist.geometric rng ~p) in
+    while !pos < total do
+      let u, v = unrank !pos in
+      ignore (Digraph.add_edge g ~src:u ~dst:v);
+      pos := !pos + 1 + (if p >= 1. then 0 else Sf_prng.Dist.geometric rng ~p)
+    done
+  end;
+  g

@@ -1,0 +1,26 @@
+module Rng = Sf_prng.Rng
+module Digraph = Sf_graph.Digraph
+module Vec = Sf_graph.Vec
+
+let tree1 rng ~t =
+  if t < 1 then invalid_arg "Lcd.tree1: need t >= 1";
+  let g = Digraph.create ~expected_vertices:t () in
+  (* [ends] lists one entry per edge endpoint; when vertex k chooses,
+     its own fresh out-endpoint is already in the list, realising the
+     1/(2k-1) self-loop probability of the LCD convention. *)
+  let ends = Vec.create ~capacity:(2 * t) () in
+  for _ = 1 to t do
+    let v = Digraph.add_vertex g in
+    Vec.push ends v;
+    let target = Vec.get ends (Rng.int rng (Vec.length ends)) in
+    ignore (Digraph.add_edge g ~src:v ~dst:target);
+    Vec.push ends target
+  done;
+  g
+
+let generate rng ~n ~m =
+  if n < 1 then invalid_arg "Lcd.generate: need n >= 1";
+  if m < 1 then invalid_arg "Lcd.generate: need m >= 1";
+  Mori.merge ~m (tree1 rng ~t:(n * m))
+
+let max_degree_exponent = 0.5

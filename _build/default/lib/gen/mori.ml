@@ -1,0 +1,85 @@
+module Rng = Sf_prng.Rng
+module Digraph = Sf_graph.Digraph
+module Vec = Sf_graph.Vec
+
+let check_params ~p ~t =
+  if t < 2 then invalid_arg "Mori: need t >= 2";
+  if p <= 0. || p > 1. then invalid_arg "Mori: need 0 < p <= 1"
+
+(* Shared growth loop.  [restrict k] returns [Some a] when step [k] must
+   attach inside [1..a] (conditioned sampling), [None] otherwise.  The
+   destination list [dsts] realises indegree-preferential choice: vertex
+   u appears in it exactly indegree(u) times, and conditional on the
+   event prefix every entry is already <= a, so the restricted
+   preferential branch needs no filtering. *)
+let grow rng ~p ~t ~restrict =
+  let g = Digraph.create ~expected_vertices:t () in
+  Digraph.add_vertices g 2;
+  ignore (Digraph.add_edge g ~src:2 ~dst:1);
+  let dsts = Vec.create ~capacity:t () in
+  Vec.push dsts 1;
+  for k = 3 to t do
+    let edges_so_far = k - 2 in
+    let father =
+      match restrict k with
+      | None ->
+        let pref_mass = p *. float_of_int edges_so_far in
+        let unif_mass = (1. -. p) *. float_of_int (k - 1) in
+        if Rng.unit_float rng *. (pref_mass +. unif_mass) < pref_mass then
+          Vec.get dsts (Rng.int rng (Vec.length dsts))
+        else 1 + Rng.int rng (k - 1)
+      | Some a ->
+        let pref_mass = p *. float_of_int edges_so_far in
+        let unif_mass = (1. -. p) *. float_of_int a in
+        if Rng.unit_float rng *. (pref_mass +. unif_mass) < pref_mass then
+          Vec.get dsts (Rng.int rng (Vec.length dsts))
+        else 1 + Rng.int rng a
+    in
+    let v = Digraph.add_vertex g in
+    ignore (Digraph.add_edge g ~src:v ~dst:father);
+    Vec.push dsts father
+  done;
+  g
+
+let tree rng ~p ~t =
+  check_params ~p ~t;
+  grow rng ~p ~t ~restrict:(fun _ -> None)
+
+let tree_conditioned rng ~p ~t ~a ~b =
+  check_params ~p ~t;
+  if a < 2 || a > b || b > t then invalid_arg "Mori.tree_conditioned: need 2 <= a <= b <= t";
+  grow rng ~p ~t ~restrict:(fun k -> if k > a && k <= b then Some a else None)
+
+let father g k =
+  match Digraph.out_edges g k with
+  | [ e ] -> e.Digraph.dst
+  | [] -> invalid_arg "Mori.father: vertex has no out-edge"
+  | _ -> invalid_arg "Mori.father: vertex has several out-edges"
+
+let fathers g =
+  let t = Digraph.n_vertices g in
+  Array.init (t - 1) (fun i -> father g (i + 2))
+
+let merge ~m g =
+  if m < 1 then invalid_arg "Mori.merge: need m >= 1";
+  let nm = Digraph.n_vertices g in
+  if nm mod m <> 0 then invalid_arg "Mori.merge: m must divide the vertex count";
+  if m = 1 then Digraph.copy g
+  else begin
+    let n = nm / m in
+    let group v = ((v - 1) / m) + 1 in
+    let g' = Digraph.create ~expected_vertices:n () in
+    Digraph.add_vertices g' n;
+    Digraph.iter_edges g (fun e ->
+        ignore (Digraph.add_edge g' ~src:(group e.Digraph.src) ~dst:(group e.Digraph.dst)));
+    g'
+  end
+
+let graph rng ~p ~m ~n =
+  if m < 1 || n < 1 then invalid_arg "Mori.graph: need m >= 1 and n >= 1";
+  if n * m < 2 then invalid_arg "Mori.graph: need n * m >= 2";
+  merge ~m (tree rng ~p ~t:(n * m))
+
+let expected_degree_exponent ~p =
+  if p <= 0. || p > 1. then invalid_arg "Mori.expected_degree_exponent: need 0 < p <= 1";
+  1. +. (1. /. p)

@@ -1,0 +1,27 @@
+module Rng = Sf_prng.Rng
+module Digraph = Sf_graph.Digraph
+
+let tree rng ~t =
+  if t < 2 then invalid_arg "Uniform_attachment.tree: need t >= 2";
+  let g = Digraph.create ~expected_vertices:t () in
+  Digraph.add_vertices g 2;
+  ignore (Digraph.add_edge g ~src:2 ~dst:1);
+  for k = 3 to t do
+    let v = Digraph.add_vertex g in
+    ignore (Digraph.add_edge g ~src:v ~dst:(1 + Rng.int rng (k - 1)))
+  done;
+  g
+
+let graph rng ~n ~m =
+  if n < 2 then invalid_arg "Uniform_attachment.graph: need n >= 2";
+  if m < 1 then invalid_arg "Uniform_attachment.graph: need m >= 1";
+  let g = Digraph.create ~expected_vertices:n () in
+  Digraph.add_vertices g 2;
+  ignore (Digraph.add_edge g ~src:2 ~dst:1);
+  for k = 3 to n do
+    let v = Digraph.add_vertex g in
+    for _ = 1 to m do
+      ignore (Digraph.add_edge g ~src:v ~dst:(1 + Rng.int rng (k - 1)))
+    done
+  done;
+  g

@@ -1,0 +1,1 @@
+lib/graph/clustering.ml: Hashtbl List Ugraph

@@ -1,0 +1,1 @@
+lib/graph/correlation.ml: Array Fun Hashtbl List Sf_stats Ugraph

@@ -1,0 +1,1 @@
+lib/graph/gio.ml: Buffer Digraph Fun In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/graph/kcore.ml: Array Hashtbl List Ugraph

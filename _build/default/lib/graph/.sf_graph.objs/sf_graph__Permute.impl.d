@@ -1,0 +1,1 @@
+lib/graph/permute.ml: Array Digraph Sf_prng

@@ -1,0 +1,1 @@
+lib/graph/permute.mli: Digraph Sf_prng

@@ -1,0 +1,67 @@
+let simple_neighbors g v =
+  (* distinct neighbours, self excluded *)
+  let tbl = Hashtbl.create 8 in
+  Ugraph.iter_neighbors g v (fun u -> if u <> v then Hashtbl.replace tbl u ());
+  tbl
+
+let local_coefficient g v =
+  let nbrs = simple_neighbors g v in
+  let d = Hashtbl.length nbrs in
+  if d < 2 then 0.
+  else begin
+    let adjacent u w =
+      let found = ref false in
+      Ugraph.iter_neighbors g u (fun x -> if x = w then found := true);
+      !found
+    in
+    let nbr_list = Hashtbl.fold (fun u () acc -> u :: acc) nbrs [] in
+    let closed = ref 0 and total = ref 0 in
+    let rec pairs = function
+      | [] -> ()
+      | u :: rest ->
+        List.iter
+          (fun w ->
+            incr total;
+            if adjacent u w then incr closed)
+          rest;
+        pairs rest
+    in
+    pairs nbr_list;
+    float_of_int !closed /. float_of_int !total
+  end
+
+let average_local g =
+  let n = Ugraph.n_vertices g in
+  if n = 0 then 0.
+  else begin
+    let sum = ref 0. in
+    for v = 1 to n do
+      sum := !sum +. local_coefficient g v
+    done;
+    !sum /. float_of_int n
+  end
+
+let triangle_count g =
+  (* Count each triangle once via the ordered-vertex convention
+     u < v < w, iterating over the middle vertex's neighbour pairs. *)
+  let count = ref 0 in
+  for v = 1 to Ugraph.n_vertices g do
+    let nbrs = simple_neighbors g v in
+    let smaller = Hashtbl.fold (fun u () acc -> if u < v then u :: acc else acc) nbrs [] in
+    let larger = Hashtbl.fold (fun w () acc -> if w > v then w :: acc else acc) nbrs [] in
+    List.iter
+      (fun u ->
+        let u_nbrs = simple_neighbors g u in
+        List.iter (fun w -> if Hashtbl.mem u_nbrs w then incr count) larger)
+      smaller
+  done;
+  !count
+
+let global_transitivity g =
+  let wedges = ref 0 in
+  for v = 1 to Ugraph.n_vertices g do
+    let d = Hashtbl.length (simple_neighbors g v) in
+    wedges := !wedges + (d * (d - 1) / 2)
+  done;
+  if !wedges = 0 then 0.
+  else 3. *. float_of_int (triangle_count g) /. float_of_int !wedges

@@ -1,0 +1,21 @@
+(** Clustering coefficients.
+
+    Small-world narratives combine short distances with clustering;
+    the evolving models here have vanishing clustering (trees have
+    none at all), which module quantifies. Self-loops and edge
+    multiplicities are ignored (coefficients are defined on the
+    underlying simple graph). *)
+
+val local_coefficient : Ugraph.t -> int -> float
+(** Fraction of the vertex's neighbour pairs that are themselves
+    adjacent; 0 for degree < 2. *)
+
+val average_local : Ugraph.t -> float
+(** Watts–Strogatz clustering coefficient: the mean of
+    {!local_coefficient} over all vertices. *)
+
+val global_transitivity : Ugraph.t -> float
+(** 3 × triangles / open-or-closed wedges; 0 for triangle-free
+    graphs. *)
+
+val triangle_count : Ugraph.t -> int

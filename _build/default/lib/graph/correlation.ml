@@ -1,0 +1,113 @@
+(* Simple (loop-free, multiplicity-free) degree per vertex. *)
+let simple_degrees g =
+  let n = Ugraph.n_vertices g in
+  let deg = Array.make n 0 in
+  for v = 1 to n do
+    let tbl = Hashtbl.create 8 in
+    Ugraph.iter_neighbors g v (fun u -> if u <> v then Hashtbl.replace tbl u ());
+    deg.(v - 1) <- Hashtbl.length tbl
+  done;
+  deg
+
+let edge_endpoint_degrees g =
+  let deg = simple_degrees g in
+  let acc = ref [] in
+  for id = 0 to Ugraph.n_edges g - 1 do
+    let u, v = Ugraph.endpoints g id in
+    if u <> v then acc := (deg.(u - 1), deg.(v - 1)) :: !acc
+  done;
+  !acc
+
+let assortativity g =
+  (* Newman 2002, eq. (4): Pearson correlation over edges, symmetrised
+     by treating each edge in both orientations. *)
+  let pairs = edge_endpoint_degrees g in
+  let m = List.length pairs in
+  if m = 0 then 0.
+  else begin
+    let fm = float_of_int (2 * m) in
+    let sum_x = ref 0. and sum_xx = ref 0. and sum_xy = ref 0. in
+    List.iter
+      (fun (a, b) ->
+        let fa = float_of_int a and fb = float_of_int b in
+        sum_x := !sum_x +. fa +. fb;
+        sum_xx := !sum_xx +. (fa *. fa) +. (fb *. fb);
+        sum_xy := !sum_xy +. (2. *. fa *. fb))
+      pairs;
+    let mean = !sum_x /. fm in
+    let var = (!sum_xx /. fm) -. (mean *. mean) in
+    if var <= 0. then 0. else ((!sum_xy /. fm) -. (mean *. mean)) /. var
+  end
+
+let knn_curve g =
+  let deg = simple_degrees g in
+  let sums = Hashtbl.create 32 in
+  let add d nbr_deg =
+    let s, c = try Hashtbl.find sums d with Not_found -> (0., 0) in
+    Hashtbl.replace sums d (s +. float_of_int nbr_deg, c + 1)
+  in
+  for id = 0 to Ugraph.n_edges g - 1 do
+    let u, v = Ugraph.endpoints g id in
+    if u <> v then begin
+      add deg.(u - 1) deg.(v - 1);
+      add deg.(v - 1) deg.(u - 1)
+    end
+  done;
+  Hashtbl.fold (fun d (s, c) acc -> (d, s /. float_of_int c) :: acc) sums []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let knn_slope g =
+  let points =
+    knn_curve g
+    |> List.filter_map (fun (d, knn) ->
+           if d > 0 && knn > 0. then Some (float_of_int d, knn) else None)
+  in
+  if List.length points < 2 then 0.
+  else
+    try (Sf_stats.Regression.log_log points).Sf_stats.Regression.slope
+    with Invalid_argument _ -> 0.
+
+(* Spearman: rank both sequences (mean ranks on ties), Pearson on
+   ranks. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> compare xs.(i) xs.(j)) order;
+  let rank = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n && xs.(order.(!j)) = xs.(order.(!i)) do
+      incr j
+    done;
+    (* positions !i .. !j-1 share the mean rank *)
+    let mean_rank = float_of_int (!i + !j - 1) /. 2. in
+    for k = !i to !j - 1 do
+      rank.(order.(k)) <- mean_rank
+    done;
+    i := !j
+  done;
+  rank
+
+let pearson xs ys =
+  let n = Array.length xs in
+  let fn = float_of_int n in
+  let mean a = Array.fold_left ( +. ) 0. a /. fn in
+  let mx = mean xs and my = mean ys in
+  let cov = ref 0. and vx = ref 0. and vy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    cov := !cov +. (dx *. dy);
+    vx := !vx +. (dx *. dx);
+    vy := !vy +. (dy *. dy)
+  done;
+  if !vx <= 0. || !vy <= 0. then 0. else !cov /. sqrt (!vx *. !vy)
+
+let age_degree_spearman g =
+  let n = Ugraph.n_vertices g in
+  if n < 2 then 0.
+  else begin
+    let ids = Array.init n (fun i -> i + 1) in
+    let deg = simple_degrees g in
+    pearson (ranks ids) (ranks deg)
+  end

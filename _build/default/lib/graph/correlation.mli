@@ -1,0 +1,36 @@
+(** Degree–degree correlations.
+
+    The paper's central modelling point: in evolving graphs "the
+    degrees of neighbours are not independent, and mean-field analysis
+    of the models tends to give incorrect results", whereas in pure
+    (configuration-model) random graphs they are asymptotically
+    independent. These statistics make that difference measurable:
+
+    - {!assortativity}: Newman's degree assortativity coefficient, the
+      Pearson correlation of degrees across edges (0 for neutral
+      graphs, negative when hubs attach to leaves);
+    - {!knn_curve}: the mean degree of neighbours of degree-d vertices
+      (flat iff uncorrelated);
+    - {!age_degree_correlation}: Spearman correlation of a vertex's
+      insertion rank with its degree — the age–degree coupling
+      specific to evolving models.
+
+    All statistics use the undirected view with the loop-free simple
+    degree. *)
+
+val assortativity : Ugraph.t -> float
+(** Newman's r ∈ [-1, 1]; 0 when the graph has no edges between
+    distinct vertices or zero excess-degree variance. *)
+
+val knn_curve : Ugraph.t -> (int * float) list
+(** [(d, mean neighbour degree over endpoints of degree d)],
+    ascending in [d]; only degrees that occur are listed. *)
+
+val knn_slope : Ugraph.t -> float
+(** Slope of the log–log fit of {!knn_curve} (0 ≈ uncorrelated,
+    < 0 disassortative); 0 when fewer than two curve points exist. *)
+
+val age_degree_spearman : Ugraph.t -> float
+(** Spearman rank correlation between vertex id (insertion time:
+    small = old) and degree. Strongly negative for evolving models
+    (old vertices rich), ~0 for configuration-model graphs. *)

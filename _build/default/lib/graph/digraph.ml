@@ -1,0 +1,146 @@
+type vertex = int
+type edge = { id : int; src : vertex; dst : vertex }
+
+(* Edges live in two flat parallel vectors indexed by edge id; each
+   vertex keeps vectors of incident edge ids.  Vertex v's slots are at
+   array index v-1. *)
+type t = {
+  srcs : Vec.t;
+  dsts : Vec.t;
+  mutable outs : Vec.t array; (* out-edge ids per vertex *)
+  mutable ins : Vec.t array; (* in-edge ids per vertex *)
+  mutable n : int;
+}
+
+let create ?(expected_vertices = 16) () =
+  let cap = max 1 expected_vertices in
+  {
+    srcs = Vec.create ~capacity:(2 * cap) ();
+    dsts = Vec.create ~capacity:(2 * cap) ();
+    outs = Array.init cap (fun _ -> Vec.create ~capacity:2 ());
+    ins = Array.init cap (fun _ -> Vec.create ~capacity:2 ());
+    n = 0;
+  }
+
+let n_vertices t = t.n
+let n_edges t = Vec.length t.srcs
+let mem_vertex t v = v >= 1 && v <= t.n
+
+let grow_vertex_arrays t =
+  let cap = Array.length t.outs in
+  if t.n = cap then begin
+    let cap' = 2 * cap in
+    let outs' = Array.init cap' (fun i -> if i < cap then t.outs.(i) else Vec.create ~capacity:2 ()) in
+    let ins' = Array.init cap' (fun i -> if i < cap then t.ins.(i) else Vec.create ~capacity:2 ()) in
+    t.outs <- outs';
+    t.ins <- ins'
+  end
+
+let add_vertex t =
+  grow_vertex_arrays t;
+  t.n <- t.n + 1;
+  t.n
+
+let add_vertices t k =
+  for _ = 1 to k do
+    ignore (add_vertex t)
+  done
+
+let check_vertex t v name =
+  if not (mem_vertex t v) then invalid_arg ("Digraph." ^ name ^ ": vertex out of range")
+
+let add_edge t ~src ~dst =
+  check_vertex t src "add_edge";
+  check_vertex t dst "add_edge";
+  let id = Vec.length t.srcs in
+  Vec.push t.srcs src;
+  Vec.push t.dsts dst;
+  Vec.push t.outs.(src - 1) id;
+  Vec.push t.ins.(dst - 1) id;
+  { id; src; dst }
+
+let edge t id =
+  if id < 0 || id >= n_edges t then invalid_arg "Digraph.edge: id out of range";
+  { id; src = Vec.get t.srcs id; dst = Vec.get t.dsts id }
+
+let out_degree t v =
+  check_vertex t v "out_degree";
+  Vec.length t.outs.(v - 1)
+
+let in_degree t v =
+  check_vertex t v "in_degree";
+  Vec.length t.ins.(v - 1)
+
+let degree t v = out_degree t v + in_degree t v
+
+let iter_out_edges t v f =
+  check_vertex t v "iter_out_edges";
+  Vec.iter (fun id -> f (edge t id)) t.outs.(v - 1)
+
+let iter_in_edges t v f =
+  check_vertex t v "iter_in_edges";
+  Vec.iter (fun id -> f (edge t id)) t.ins.(v - 1)
+
+let out_edges t v =
+  let acc = ref [] in
+  iter_out_edges t v (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let in_edges t v =
+  let acc = ref [] in
+  iter_in_edges t v (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let iter_vertices t f =
+  for v = 1 to t.n do
+    f v
+  done
+
+let iter_edges t f =
+  for id = 0 to n_edges t - 1 do
+    f (edge t id)
+  done
+
+let fold_edges t ~init ~f =
+  let acc = ref init in
+  iter_edges t (fun e -> acc := f !acc e);
+  !acc
+
+let edges t = List.rev (fold_edges t ~init:[] ~f:(fun acc e -> e :: acc))
+
+let copy t =
+  {
+    srcs = Vec.copy t.srcs;
+    dsts = Vec.copy t.dsts;
+    outs = Array.map Vec.copy t.outs;
+    ins = Array.map Vec.copy t.ins;
+    n = t.n;
+  }
+
+let of_edges ~n pairs =
+  let t = create ~expected_vertices:n () in
+  add_vertices t n;
+  List.iter (fun (src, dst) -> ignore (add_edge t ~src ~dst)) pairs;
+  t
+
+let sorted_edge_pairs t =
+  let pairs = Array.init (n_edges t) (fun id -> (Vec.get t.srcs id, Vec.get t.dsts id)) in
+  Array.sort compare pairs;
+  pairs
+
+let equal_structure a b =
+  n_vertices a = n_vertices b
+  && n_edges a = n_edges b
+  && sorted_edge_pairs a = sorted_edge_pairs b
+
+let canonical_key t =
+  let buf = Buffer.create (16 + (8 * n_edges t)) in
+  Buffer.add_string buf (string_of_int (n_vertices t));
+  Array.iter
+    (fun (s, d) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int s);
+      Buffer.add_char buf '>';
+      Buffer.add_string buf (string_of_int d))
+    (sorted_edge_pairs t);
+  Buffer.contents buf

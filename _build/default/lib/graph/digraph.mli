@@ -1,0 +1,75 @@
+(** Growable directed multigraphs.
+
+    This is the substrate every random-graph model grows into. Design
+    constraints come straight from the paper's constructions:
+
+    - vertices carry the identities [1 .. n] in insertion order (vertex
+      [t] is "the t-th vertex inserted"), the object the searcher hunts;
+    - parallel edges and self-loops are allowed — merging consecutive
+      Móri-tree vertices creates both and they must be preserved;
+    - graphs only grow (vertices and edges are never removed), so edge
+      ids [0 .. m-1] are stable and double as insertion timestamps.
+
+    All structural queries are O(1) or O(degree). *)
+
+type vertex = int
+(** External vertex ids are [1 .. n_vertices g]. *)
+
+type edge = { id : int; src : vertex; dst : vertex }
+
+type t
+
+val create : ?expected_vertices:int -> unit -> t
+
+val add_vertex : t -> vertex
+(** Appends a fresh vertex and returns its id ([n_vertices] after the
+    call). *)
+
+val add_vertices : t -> int -> unit
+(** [add_vertices g k] appends [k] fresh vertices. *)
+
+val add_edge : t -> src:vertex -> dst:vertex -> edge
+(** Appends a directed edge. Self-loops and duplicates are allowed.
+    @raise Invalid_argument if either endpoint is not a vertex. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val mem_vertex : t -> vertex -> bool
+
+val edge : t -> int -> edge
+(** Edge by id. @raise Invalid_argument if the id is out of range. *)
+
+val out_degree : t -> vertex -> int
+val in_degree : t -> vertex -> int
+
+val degree : t -> vertex -> int
+(** Total degree with the multigraph convention: a self-loop counts
+    twice ([out_degree + in_degree]). *)
+
+val out_edges : t -> vertex -> edge list
+val in_edges : t -> vertex -> edge list
+
+val iter_out_edges : t -> vertex -> (edge -> unit) -> unit
+val iter_in_edges : t -> vertex -> (edge -> unit) -> unit
+
+val iter_vertices : t -> (vertex -> unit) -> unit
+val iter_edges : t -> (edge -> unit) -> unit
+val fold_edges : t -> init:'a -> f:('a -> edge -> 'a) -> 'a
+
+val edges : t -> edge list
+(** All edges in insertion order. *)
+
+val copy : t -> t
+
+val of_edges : n:int -> (vertex * vertex) list -> t
+(** [of_edges ~n pairs] builds the graph on vertices [1..n] with the
+    given directed edges, in order. *)
+
+val equal_structure : t -> t -> bool
+(** Equality of labelled multigraphs: same vertex count and the same
+    {e multiset} of directed edges (insertion order ignored). *)
+
+val canonical_key : t -> string
+(** A string that is equal for two graphs iff {!equal_structure} holds.
+    Used to key empirical distributions over labelled graphs. *)

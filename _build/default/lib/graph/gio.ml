@@ -1,0 +1,61 @@
+let to_edge_list g =
+  let buf = Buffer.create (16 + (8 * Digraph.n_edges g)) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Digraph.n_vertices g) (Digraph.n_edges g));
+  Digraph.iter_edges g (fun e ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" e.Digraph.src e.Digraph.dst));
+  Buffer.contents buf
+
+let of_edge_list text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> failwith "Gio.of_edge_list: empty input"
+  | header :: rest ->
+    let n, m =
+      match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+      | [ a; b ] -> (
+        try (int_of_string a, int_of_string b)
+        with _ -> failwith "Gio.of_edge_list: bad header")
+      | _ -> failwith "Gio.of_edge_list: bad header"
+    in
+    let g = Digraph.create ~expected_vertices:n () in
+    Digraph.add_vertices g n;
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ a; b ] -> (
+          try ignore (Digraph.add_edge g ~src:(int_of_string a) ~dst:(int_of_string b))
+          with _ -> failwith "Gio.of_edge_list: bad edge line")
+        | _ -> failwith "Gio.of_edge_list: bad edge line")
+      rest;
+    if Digraph.n_edges g <> m then failwith "Gio.of_edge_list: edge count mismatch";
+    g
+
+let write_edge_list g ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_edge_list g))
+
+let read_edge_list ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_edge_list (In_channel.input_all ic))
+
+let to_dot ?(name = "g") ?(highlight = []) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [style=filled, fillcolor=lightblue];\n" v))
+    highlight;
+  Digraph.iter_edges g (fun e ->
+      Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" e.Digraph.src e.Digraph.dst));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Serialisation of graphs: a plain edge-list text format and GraphViz
+    DOT output.
+
+    Edge-list format: first line [n m]; then one [src dst] pair per
+    line, in edge-insertion order (so a round trip preserves edge ids
+    and timestamps). *)
+
+val to_edge_list : Digraph.t -> string
+
+val of_edge_list : string -> Digraph.t
+(** @raise Failure on malformed input. *)
+
+val write_edge_list : Digraph.t -> path:string -> unit
+val read_edge_list : path:string -> Digraph.t
+
+val to_dot : ?name:string -> ?highlight:int list -> Digraph.t -> string
+(** Directed DOT rendering; [highlight] vertices are filled. Intended
+    for small demo graphs. *)

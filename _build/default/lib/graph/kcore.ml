@@ -1,0 +1,72 @@
+(* Batagelj–Zaveršnik: repeatedly remove a minimum-degree vertex; the
+   degree at removal time (made monotone) is its coreness.  Implemented
+   with the classic bucket-sorted vertex array and in-place swaps. *)
+
+let coreness g =
+  let n = Ugraph.n_vertices g in
+  if n = 0 then [||]
+  else begin
+    let deg = Array.init n (fun i -> Ugraph.degree g (i + 1)) in
+    let max_deg = Array.fold_left max 0 deg in
+    (* bucket start positions by degree *)
+    let bin = Array.make (max_deg + 2) 0 in
+    Array.iter (fun d -> bin.(d) <- bin.(d) + 1) deg;
+    let start = ref 0 in
+    for d = 0 to max_deg do
+      let count = bin.(d) in
+      bin.(d) <- !start;
+      start := !start + count
+    done;
+    (* vert: vertices sorted by current degree; pos: inverse *)
+    let vert = Array.make n 0 and pos = Array.make n 0 in
+    let fill = Array.copy bin in
+    Array.iteri
+      (fun i d ->
+        vert.(fill.(d)) <- i;
+        pos.(i) <- fill.(d);
+        fill.(d) <- fill.(d) + 1)
+      deg;
+    let core = Array.copy deg in
+    for idx = 0 to n - 1 do
+      let v = vert.(idx) in
+      core.(v) <- deg.(v);
+      (* lower each not-yet-removed neighbour's degree by one, keeping
+         the bucket structure consistent *)
+      Ugraph.iter_neighbors g (v + 1) (fun u1 ->
+          let u = u1 - 1 in
+          if deg.(u) > deg.(v) then begin
+            let du = deg.(u) in
+            let pu = pos.(u) in
+            let pw = bin.(du) in
+            let w = vert.(pw) in
+            if u <> w then begin
+              vert.(pu) <- w;
+              vert.(pw) <- u;
+              pos.(u) <- pw;
+              pos.(w) <- pu
+            end;
+            bin.(du) <- bin.(du) + 1;
+            deg.(u) <- du - 1
+          end)
+    done;
+    core
+  end
+
+let degeneracy g = Array.fold_left max 0 (coreness g)
+
+let core_sizes g =
+  let core = coreness g in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun k -> Hashtbl.replace tbl k (1 + try Hashtbl.find tbl k with Not_found -> 0))
+    core;
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let k_core g ~k =
+  let core = coreness g in
+  let acc = ref [] in
+  for v = Array.length core downto 1 do
+    if core.(v - 1) >= k then acc := v :: !acc
+  done;
+  !acc

@@ -1,0 +1,20 @@
+(** k-core decomposition (Batagelj–Zaveršnik peeling, O(n + m)).
+
+    The coreness of a vertex is the largest k such that it belongs to a
+    subgraph of minimum degree k. In power-law P2P networks the
+    high-core "spine" is what walks and percolation queries concentrate
+    on; trees are entirely 1-core. Degrees here count loops once and
+    parallel edges with multiplicity (the {!Ugraph.degree}
+    convention). *)
+
+val coreness : Ugraph.t -> int array
+(** [a.(v-1)] = coreness of [v]. *)
+
+val degeneracy : Ugraph.t -> int
+(** The maximum coreness (0 for edgeless graphs). *)
+
+val core_sizes : Ugraph.t -> (int * int) list
+(** [(k, number of vertices with coreness exactly k)], ascending. *)
+
+val k_core : Ugraph.t -> k:int -> int list
+(** Vertices with coreness ≥ k, ascending. *)

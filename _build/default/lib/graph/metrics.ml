@@ -1,0 +1,54 @@
+let in_degrees g = Array.init (Digraph.n_vertices g) (fun i -> Digraph.in_degree g (i + 1))
+let out_degrees g = Array.init (Digraph.n_vertices g) (fun i -> Digraph.out_degree g (i + 1))
+let total_degrees g = Array.init (Digraph.n_vertices g) (fun i -> Digraph.degree g (i + 1))
+
+let max_in_degree g = Array.fold_left max 0 (in_degrees g)
+let max_total_degree g = Array.fold_left max 0 (total_degrees g)
+
+let mean_degree g =
+  let n = Digraph.n_vertices g in
+  if n = 0 then 0. else 2. *. float_of_int (Digraph.n_edges g) /. float_of_int n
+
+let degree_counts degrees =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun d ->
+      let c = try Hashtbl.find tbl d with Not_found -> 0 in
+      Hashtbl.replace tbl d (c + 1))
+    degrees;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let degree_ccdf degrees =
+  let n = Array.length degrees in
+  if n = 0 then []
+  else begin
+    let counts = degree_counts degrees in
+    (* Walk degrees in descending order accumulating the tail mass. *)
+    let rev = List.rev counts in
+    let _, acc =
+      List.fold_left
+        (fun (tail, acc) (d, c) ->
+          let tail = tail + c in
+          (tail, (d, float_of_int tail /. float_of_int n) :: acc))
+        (0, []) rev
+    in
+    acc
+  end
+
+let self_loops g =
+  Digraph.fold_edges g ~init:0 ~f:(fun acc e ->
+      if e.Digraph.src = e.Digraph.dst then acc + 1 else acc)
+
+let parallel_edges g =
+  let tbl = Hashtbl.create (Digraph.n_edges g) in
+  Digraph.fold_edges g ~init:0 ~f:(fun acc e ->
+      let key = (min e.Digraph.src e.Digraph.dst, max e.Digraph.src e.Digraph.dst) in
+      if Hashtbl.mem tbl key then acc + 1
+      else begin
+        Hashtbl.replace tbl key ();
+        acc
+      end)
+
+let degree_sum_invariant g =
+  Array.fold_left ( + ) 0 (total_degrees g) = 2 * Digraph.n_edges g

@@ -1,0 +1,31 @@
+(** Degree statistics of directed multigraphs. *)
+
+val in_degrees : Digraph.t -> int array
+(** [a.(v-1)] = indegree of [v]. *)
+
+val out_degrees : Digraph.t -> int array
+
+val total_degrees : Digraph.t -> int array
+(** Loop-counts-twice convention ({!Digraph.degree}). *)
+
+val max_in_degree : Digraph.t -> int
+val max_total_degree : Digraph.t -> int
+
+val mean_degree : Digraph.t -> float
+(** Mean total degree = [2m/n]. *)
+
+val degree_counts : int array -> (int * int) list
+(** [(degree, how many vertices)] pairs, ascending, zero counts
+    omitted. *)
+
+val degree_ccdf : int array -> (int * float) list
+(** Complementary CDF of the degree sample: [(d, P(D >= d))] at each
+    observed degree, ascending. *)
+
+val self_loops : Digraph.t -> int
+val parallel_edges : Digraph.t -> int
+(** Number of edges beyond the first within each (unordered) endpoint
+    pair; 0 for a simple graph. *)
+
+val degree_sum_invariant : Digraph.t -> bool
+(** Handshake check: sum of total degrees = 2·edges. *)

@@ -1,0 +1,32 @@
+type mapping = { to_sub : int array; of_sub : int array }
+
+let induced g ~vertices =
+  let n = Digraph.n_vertices g in
+  let to_sub = Array.make n 0 in
+  List.iter
+    (fun v ->
+      if v < 1 || v > n then invalid_arg "Subgraph.induced: vertex out of range";
+      if to_sub.(v - 1) <> 0 then invalid_arg "Subgraph.induced: duplicate vertex";
+      to_sub.(v - 1) <- 1)
+    vertices;
+  let k = ref 0 in
+  for v = 1 to n do
+    if to_sub.(v - 1) <> 0 then begin
+      incr k;
+      to_sub.(v - 1) <- !k
+    end
+  done;
+  let of_sub = Array.make !k 0 in
+  for v = 1 to n do
+    if to_sub.(v - 1) <> 0 then of_sub.(to_sub.(v - 1) - 1) <- v
+  done;
+  let sub = Digraph.create ~expected_vertices:!k () in
+  Digraph.add_vertices sub !k;
+  Digraph.iter_edges g (fun e ->
+      let s = to_sub.(e.Digraph.src - 1) and d = to_sub.(e.Digraph.dst - 1) in
+      if s <> 0 && d <> 0 then ignore (Digraph.add_edge sub ~src:s ~dst:d));
+  (sub, { to_sub; of_sub })
+
+let largest_component g =
+  let u = Ugraph.of_digraph g in
+  induced g ~vertices:(Traversal.largest_component u)

@@ -1,0 +1,66 @@
+type vertex = int
+
+type t = {
+  srcs : int array; (* edge id -> src *)
+  dsts : int array; (* edge id -> dst *)
+  incidence : int array array; (* vertex-1 -> incident edge ids *)
+}
+
+let of_digraph g =
+  let m = Digraph.n_edges g and n = Digraph.n_vertices g in
+  let srcs = Array.make m 0 and dsts = Array.make m 0 in
+  let counts = Array.make n 0 in
+  for id = 0 to m - 1 do
+    let e = Digraph.edge g id in
+    srcs.(id) <- e.Digraph.src;
+    dsts.(id) <- e.Digraph.dst;
+    counts.(e.Digraph.src - 1) <- counts.(e.Digraph.src - 1) + 1;
+    if e.Digraph.dst <> e.Digraph.src then counts.(e.Digraph.dst - 1) <- counts.(e.Digraph.dst - 1) + 1
+  done;
+  let incidence = Array.init n (fun i -> Array.make counts.(i) 0) in
+  let fill = Array.make n 0 in
+  for id = 0 to m - 1 do
+    let s = srcs.(id) - 1 and d = dsts.(id) - 1 in
+    incidence.(s).(fill.(s)) <- id;
+    fill.(s) <- fill.(s) + 1;
+    if d <> s then begin
+      incidence.(d).(fill.(d)) <- id;
+      fill.(d) <- fill.(d) + 1
+    end
+  done;
+  { srcs; dsts; incidence }
+
+let n_vertices t = Array.length t.incidence
+let n_edges t = Array.length t.srcs
+let mem_vertex t v = v >= 1 && v <= n_vertices t
+
+let check_vertex t v name =
+  if not (mem_vertex t v) then invalid_arg ("Ugraph." ^ name ^ ": vertex out of range")
+
+let degree t v =
+  check_vertex t v "degree";
+  Array.length t.incidence.(v - 1)
+
+let incident t v =
+  check_vertex t v "incident";
+  t.incidence.(v - 1)
+
+let endpoints t id =
+  if id < 0 || id >= n_edges t then invalid_arg "Ugraph.endpoints: edge id out of range";
+  (t.srcs.(id), t.dsts.(id))
+
+let other_endpoint t ~edge_id v =
+  let s, d = endpoints t edge_id in
+  if v = s then d
+  else if v = d then s
+  else invalid_arg "Ugraph.other_endpoint: vertex is not an endpoint"
+
+let iter_neighbors t v f =
+  Array.iter (fun id -> f (other_endpoint t ~edge_id:id v)) (incident t v)
+
+let neighbors t v =
+  let acc = ref [] in
+  iter_neighbors t v (fun u -> acc := u :: !acc);
+  List.rev !acc
+
+let max_degree t = Array.fold_left (fun acc inc -> max acc (Array.length inc)) 0 t.incidence

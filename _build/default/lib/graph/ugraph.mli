@@ -1,0 +1,47 @@
+(** Frozen undirected incidence view of a directed multigraph.
+
+    The paper's graphs grow {e oriented}, but "searching always takes
+    place in the corresponding unoriented graph". Searching also never
+    mutates the graph, so this view is an immutable snapshot with
+    O(1) incidence lookups — the structure the oracles and traversals
+    operate on.
+
+    Conventions:
+    - edge ids are those of the underlying {!Digraph.t};
+    - the incidence list of [v] contains each incident edge {e once},
+      including self-loops (a self-loop at [v] is one handle whose far
+      endpoint is [v] itself);
+    - [degree v] is the length of that list. This is the degree a
+      searcher observes: the number of distinct requests available at
+      [v]. Use {!Digraph.degree} for the loop-counts-twice convention. *)
+
+type vertex = int
+type t
+
+val of_digraph : Digraph.t -> t
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val degree : t -> vertex -> int
+
+val incident : t -> vertex -> int array
+(** Ids of the edges incident to [v], in insertion order. The returned
+    array is owned by the view: do not mutate. *)
+
+val endpoints : t -> int -> vertex * vertex
+(** [(src, dst)] of the underlying directed edge. *)
+
+val other_endpoint : t -> edge_id:int -> vertex -> vertex
+(** The endpoint of [edge_id] that is not [v] (or [v] for a self-loop).
+    @raise Invalid_argument if [v] is not an endpoint of the edge. *)
+
+val iter_neighbors : t -> vertex -> (vertex -> unit) -> unit
+(** Visits the far endpoint of every incident edge (with multiplicity;
+    a self-loop visits [v] once). *)
+
+val neighbors : t -> vertex -> vertex list
+
+val max_degree : t -> int
+
+val mem_vertex : t -> vertex -> bool

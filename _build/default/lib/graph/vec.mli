@@ -1,0 +1,26 @@
+(** Growable arrays of unboxed [int]s.
+
+    The adjacency structures append heavily while a graph grows; this is
+    the usual doubling dynamic array, specialised to [int] to avoid
+    boxing and [Obj] tricks. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+val pop : t -> int
+(** Remove and return the last element. @raise Invalid_argument if empty. *)
+
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val iteri : (int -> int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val exists : (int -> bool) -> t -> bool
+val to_array : t -> int array
+val to_list : t -> int list
+val of_array : int array -> t
+val copy : t -> t

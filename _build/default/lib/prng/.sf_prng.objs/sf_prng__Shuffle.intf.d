@@ -1,0 +1,1 @@
+lib/prng/shuffle.mli: Rng Seq

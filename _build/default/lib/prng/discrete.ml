@@ -1,0 +1,122 @@
+module Alias = struct
+  type t = {
+    prob : float array; (* acceptance probability of the home column *)
+    alias : int array; (* fallback index of each column *)
+  }
+
+  let create weights =
+    let n = Array.length weights in
+    if n = 0 then invalid_arg "Alias.create: empty weights";
+    let total = Array.fold_left ( +. ) 0. weights in
+    Array.iter (fun w -> if w < 0. || Float.is_nan w then invalid_arg "Alias.create: negative weight") weights;
+    if total <= 0. then invalid_arg "Alias.create: zero total weight";
+    (* Scale to mean 1 and split columns into small/large worklists
+       (Vose's stable construction). *)
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+    let prob = Array.make n 1. and alias = Array.init n (fun i -> i) in
+    let small = Queue.create () and large = Queue.create () in
+    Array.iteri (fun i w -> Queue.push i (if w < 1. then small else large)) scaled;
+    while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+      let s = Queue.pop small and l = Queue.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+      Queue.push l (if scaled.(l) < 1. then small else large)
+    done;
+    (* Leftovers are numerically ~1; treat as exactly 1. *)
+    Queue.iter (fun i -> prob.(i) <- 1.) small;
+    Queue.iter (fun i -> prob.(i) <- 1.) large;
+    { prob; alias }
+
+  let size t = Array.length t.prob
+
+  let sample t rng =
+    let i = Rng.int rng (Array.length t.prob) in
+    if Rng.unit_float rng < t.prob.(i) then i else t.alias.(i)
+end
+
+module Fenwick = struct
+  type t = {
+    mutable tree : float array; (* 1-based Fenwick array *)
+    mutable n : int;
+  }
+
+  let create ?(capacity = 16) () = { tree = Array.make (max capacity 1 + 1) 0.; n = 0 }
+
+  let length t = t.n
+
+  let ensure_capacity t needed =
+    let cap = Array.length t.tree - 1 in
+    if needed > cap then begin
+      let cap' = max needed (2 * cap) in
+      let tree' = Array.make (cap' + 1) 0. in
+      Array.blit t.tree 0 tree' 0 (Array.length t.tree);
+      t.tree <- tree'
+    end
+
+  (* Standard Fenwick update on the 1-based tree, bounded by [t.n]. *)
+  let bump t i1 delta =
+    let i = ref i1 in
+    while !i <= t.n do
+      t.tree.(!i) <- t.tree.(!i) +. delta;
+      i := !i + (!i land - !i)
+    done
+
+  let add t i w =
+    if i < 0 || i >= t.n then invalid_arg "Fenwick.add: index out of range";
+    bump t (i + 1) w
+
+  let prefix_sum t i1 =
+    let acc = ref 0. and i = ref i1 in
+    while !i > 0 do
+      acc := !acc +. t.tree.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !acc
+
+  let push t w =
+    ensure_capacity t (t.n + 1);
+    (* Appending slot i (1-based) must seed tree.(i) with the sum of
+       the slots its node covers, (i - lowbit(i), i]: earlier bumps
+       stopped at the old length and never touched this node. *)
+    let i = t.n + 1 in
+    let covered = prefix_sum t (i - 1) -. prefix_sum t (i - (i land -i)) in
+    t.n <- i;
+    t.tree.(i) <- covered +. w;
+    t.n - 1
+
+  let get t i =
+    if i < 0 || i >= t.n then invalid_arg "Fenwick.get: index out of range";
+    prefix_sum t (i + 1) -. prefix_sum t i
+
+  let total t = prefix_sum t t.n
+
+  let of_array weights =
+    let t = create ~capacity:(Array.length weights) () in
+    Array.iter (fun w -> ignore (push t w)) weights;
+    t
+
+  (* Descend the implicit tree to find the smallest index whose prefix
+     sum exceeds the drawn mass. *)
+  let sample t rng =
+    let tot = total t in
+    if tot <= 0. then invalid_arg "Fenwick.sample: zero total weight";
+    let u = ref (Rng.unit_float rng *. tot) in
+    let pos = ref 0 in
+    let log_msb =
+      let rec top k = if 2 * k <= t.n then top (2 * k) else k in
+      if t.n = 0 then 0 else top 1
+    in
+    let step = ref log_msb in
+    while !step > 0 do
+      let next = !pos + !step in
+      if next <= t.n && t.tree.(next) < !u then begin
+        u := !u -. t.tree.(next);
+        pos := next
+      end;
+      step := !step / 2
+    done;
+    (* [pos] is the largest index with prefix sum < u; the sampled slot
+       is the next one.  Clamp for the measure-zero edge case u = total. *)
+    min !pos (t.n - 1)
+end

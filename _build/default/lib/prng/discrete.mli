@@ -1,0 +1,53 @@
+(** Sampling from weighted discrete distributions.
+
+    Two structures cover the needs of the graph generators:
+
+    - {!Alias}: Walker's alias method for a {e fixed} weight vector —
+      O(n) setup, O(1) per draw. Used for degree sequences and bounded
+      power laws that are sampled many times.
+    - {!Fenwick}: a binary indexed tree over {e mutable} non-negative
+      weights — O(log n) update and draw, with dynamic growth. Used for
+      preferential attachment when weights (degrees) change as the
+      graph grows and are not expressible with the endpoint-list trick.
+*)
+
+module Alias : sig
+  type t
+
+  val create : float array -> t
+  (** [create weights] builds a sampler for [P(i) ∝ weights.(i)].
+      @raise Invalid_argument on empty input, negative weights or an
+      all-zero vector. *)
+
+  val size : t -> int
+
+  val sample : t -> Rng.t -> int
+  (** One index drawn with the encoded distribution, O(1). *)
+end
+
+module Fenwick : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Empty tree; [capacity] pre-sizes the backing array. *)
+
+  val of_array : float array -> t
+
+  val length : t -> int
+  (** Number of slots (indices are [0 .. length-1]). *)
+
+  val push : t -> float -> int
+  (** Append a slot with the given weight; returns its index. *)
+
+  val add : t -> int -> float -> unit
+  (** [add t i w] increases slot [i]'s weight by [w] (may be negative as
+      long as the slot stays non-negative). *)
+
+  val get : t -> int -> float
+
+  val total : t -> float
+
+  val sample : t -> Rng.t -> int
+  (** Index drawn with probability proportional to its weight,
+      O(log n). @raise Invalid_argument if the total weight is zero. *)
+end

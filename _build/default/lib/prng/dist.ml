@@ -1,0 +1,115 @@
+let uniform rng ~lo ~hi = lo +. Rng.unit_float rng *. (hi -. lo)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  -.log1p (-.Rng.unit_float rng) /. rate
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: need 0 < p <= 1";
+  if p = 1. then 0
+  else
+    (* Inversion: floor(log(U) / log(1-p)) has the geometric law. *)
+    let u = 1. -. Rng.unit_float rng in
+    int_of_float (floor (log u /. log1p (-.p)))
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Dist.binomial: n must be non-negative";
+  if p <= 0. then 0
+  else if p >= 1. then n
+  else if p <= 0.05 && n > 50 then begin
+    (* Skip over failures geometrically: exact and O(np) expected. *)
+    let count = ref 0 and i = ref (geometric rng ~p) in
+    while !i < n do
+      incr count;
+      i := !i + 1 + geometric rng ~p
+    done;
+    !count
+  end
+  else begin
+    let count = ref 0 in
+    for _ = 1 to n do
+      if Rng.bernoulli rng p then incr count
+    done;
+    !count
+  end
+
+let rec normal rng ~mu ~sigma =
+  let u = (2. *. Rng.unit_float rng) -. 1. in
+  let v = (2. *. Rng.unit_float rng) -. 1. in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1. || s = 0. then normal rng ~mu ~sigma
+  else mu +. (sigma *. u *. sqrt (-2. *. log s /. s))
+
+let poisson rng ~mean =
+  if mean < 0. then invalid_arg "Dist.poisson: mean must be non-negative";
+  if mean = 0. then 0
+  else if mean <= 30. then begin
+    let limit = exp (-.mean) in
+    let k = ref 0 and prod = ref (Rng.unit_float rng) in
+    while !prod > limit do
+      incr k;
+      prod := !prod *. Rng.unit_float rng
+    done;
+    !k
+  end
+  else
+    let x = normal rng ~mu:mean ~sigma:(sqrt mean) in
+    max 0 (int_of_float (Float.round x))
+
+let pareto rng ~alpha ~x_min =
+  if alpha <= 0. || x_min <= 0. then invalid_arg "Dist.pareto: need alpha > 0 and x_min > 0";
+  x_min *. ((1. -. Rng.unit_float rng) ** (-1. /. alpha))
+
+(* Devroye (1986), ch. X.6: rejection sampler for the zeta distribution
+   P(X = j) proportional to j^-alpha, alpha > 1. *)
+let zeta rng ~alpha =
+  if alpha <= 1. then invalid_arg "Dist.zeta: need alpha > 1";
+  let b = 2. ** (alpha -. 1.) in
+  let rec draw () =
+    let u = Rng.unit_float rng and v = Rng.unit_float rng in
+    let x = floor (u ** (-1. /. (alpha -. 1.))) in
+    if x < 1. || x > 1e18 then draw ()
+    else
+      let t = (1. +. (1. /. x)) ** (alpha -. 1.) in
+      if v *. x *. (t -. 1.) /. (b -. 1.) <= t /. b then int_of_float x
+      else draw ()
+  in
+  draw ()
+
+let cdf_table ~alpha ~d_min ~d_max =
+  if d_min < 1 || d_max < d_min then invalid_arg "Dist: need 1 <= d_min <= d_max";
+  let len = d_max - d_min + 1 in
+  let cdf = Array.make len 0. in
+  let total = ref 0. in
+  for i = 0 to len - 1 do
+    total := !total +. (float_of_int (d_min + i) ** -.alpha);
+    cdf.(i) <- !total
+  done;
+  (cdf, !total)
+
+let sample_cdf rng cdf total d_min =
+  let u = Rng.unit_float rng *. total in
+  (* Binary search for the first index with cdf.(i) >= u. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  d_min + !lo
+
+let zipf_bounded rng ~alpha ~n =
+  if n < 1 then invalid_arg "Dist.zipf_bounded: n must be >= 1";
+  if alpha > 1. then begin
+    let rec draw () =
+      let x = zeta rng ~alpha in
+      if x <= n then x else draw ()
+    in
+    draw ()
+  end
+  else
+    let cdf, total = cdf_table ~alpha ~d_min:1 ~d_max:n in
+    sample_cdf rng cdf total 1
+
+let discrete_power_law_sequence rng ~exponent ~d_min ~d_max ~n =
+  let cdf, total = cdf_table ~alpha:exponent ~d_min ~d_max in
+  Array.init n (fun _ -> sample_cdf rng cdf total d_min)

@@ -1,0 +1,53 @@
+(** Scalar probability distributions over a {!Rng.t} stream.
+
+    Each sampler consumes randomness from the generator it is given and
+    returns one variate. Samplers are exact where an exact method is
+    cheap (inversion, rejection) and use standard approximations
+    otherwise; the documentation of each function states the method. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on [lo, hi). *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with rate [rate] (mean [1/rate]), by inversion.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of failures before the first success in Bernoulli([p])
+    trials; support [0, 1, 2, ...]. Sampled by inversion, exact for all
+    [0 < p <= 1]. @raise Invalid_argument otherwise. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** Binomial(n, p) by summing Bernoulli draws for small [n] and by the
+    inversion-from-geometric shortcut when [p] is small; exact. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Poisson by Knuth multiplication for [mean <= 30] and by
+    normal-rounded rejection above (approximate but accurate to the
+    digits any experiment here reads). *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian by the polar Marsaglia method. *)
+
+val pareto : Rng.t -> alpha:float -> x_min:float -> float
+(** Continuous Pareto: density proportional to [x^-(alpha+1)] on
+    [x >= x_min]; by inversion. @raise Invalid_argument if
+    [alpha <= 0. || x_min <= 0.]. *)
+
+val zeta : Rng.t -> alpha:float -> int
+(** Discrete power law ("zeta" / Zipf with unbounded support):
+    [P(X = j) ∝ j^-alpha] for [j >= 1], sampled by Devroye's
+    rejection-from-Pareto method; exact. Requires [alpha > 1]. *)
+
+val zipf_bounded : Rng.t -> alpha:float -> n:int -> int
+(** Power law truncated to [1..n]: [P(X = j) ∝ j^-alpha]. Sampled by
+    rejection from {!zeta} when [alpha > 1], by inversion on the
+    precomputed CDF otherwise (cost O(n) setup per call — prefer
+    {!Discrete} for repeated use with [alpha <= 1]). *)
+
+val discrete_power_law_sequence :
+  Rng.t -> exponent:float -> d_min:int -> d_max:int -> n:int -> int array
+(** [discrete_power_law_sequence rng ~exponent ~d_min ~d_max ~n] draws
+    [n] i.i.d. degrees with [P(d) ∝ d^-exponent] on [d_min..d_max],
+    using one shared CDF table (O(d_max) setup, O(log d_max) per
+    draw). *)

@@ -1,0 +1,50 @@
+let in_place rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation rng n =
+  let a = Array.init n (fun i -> i) in
+  in_place rng a;
+  a
+
+let array rng a =
+  let b = Array.copy a in
+  in_place rng b;
+  b
+
+let sample_without_replacement rng ~k ~n =
+  if k < 0 || k > n then invalid_arg "Shuffle.sample_without_replacement: need 0 <= k <= n";
+  (* Floyd's algorithm: for j in n-k..n-1, insert a uniform value from
+     [0..j], replacing collisions with j itself. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let v = Rng.int rng (j + 1) in
+    if Hashtbl.mem chosen v then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen v ()
+  done;
+  let out = Array.make k 0 and idx = ref 0 in
+  Hashtbl.iter
+    (fun v () ->
+      out.(!idx) <- v;
+      incr idx)
+    chosen;
+  out
+
+let reservoir rng ~k seq =
+  if k < 0 then invalid_arg "Shuffle.reservoir: k must be non-negative";
+  let buf = ref [||] and seen = ref 0 in
+  Seq.iter
+    (fun x ->
+      incr seen;
+      if !seen <= k then
+        buf := Array.append !buf [| x |]
+      else begin
+        let j = Rng.int rng !seen in
+        if j < k then !buf.(j) <- x
+      end)
+    seq;
+  !buf

@@ -1,0 +1,1 @@
+lib/search/geo_routing.ml: Sf_graph

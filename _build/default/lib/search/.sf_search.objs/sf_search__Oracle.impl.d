@@ -1,0 +1,1 @@
+lib/search/oracle.ml: Array Hashtbl List Sf_graph Sf_prng

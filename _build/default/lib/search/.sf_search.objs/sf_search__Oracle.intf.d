@@ -1,0 +1,1 @@
+lib/search/oracle.mli: Sf_graph Sf_prng

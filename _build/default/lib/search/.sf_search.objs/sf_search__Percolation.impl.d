@@ -1,0 +1,1 @@
+lib/search/percolation.ml: Array Queue Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/search/percolation.mli: Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/search/runner.ml: List Oracle Sf_prng Sf_stats Strategy String

@@ -1,0 +1,1 @@
+lib/search/runner.mli: Oracle Sf_graph Sf_prng Strategy

@@ -1,0 +1,1 @@
+lib/search/strategies.ml: Array Cursor Float Heap List Oracle Printf Sf_graph Sf_prng Strategy

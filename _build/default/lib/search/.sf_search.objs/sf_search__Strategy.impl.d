@@ -1,0 +1,1 @@
+lib/search/strategy.ml: Array Hashtbl Option Oracle Sf_prng

@@ -1,0 +1,1 @@
+lib/search/strategy.mli: Oracle Sf_prng

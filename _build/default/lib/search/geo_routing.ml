@@ -1,0 +1,19 @@
+type result = { reached : bool; steps : int }
+
+let greedy g ~dist ~source ~target ~max_steps =
+  let rec go current steps =
+    if current = target then { reached = true; steps }
+    else if steps >= max_steps then { reached = false; steps }
+    else begin
+      let best = ref None in
+      Sf_graph.Ugraph.iter_neighbors g current (fun v ->
+          let d = dist v target in
+          match !best with
+          | Some (_, bd) when bd <= d -> ()
+          | _ -> best := Some (v, d));
+      match !best with
+      | None -> { reached = false; steps }
+      | Some (v, _) -> go v (steps + 1)
+    end
+  in
+  go source 0

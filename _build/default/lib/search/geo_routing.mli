@@ -1,0 +1,27 @@
+(** Kleinberg's greedy geographic routing [Kle00] — the navigable
+    benchmark the paper contrasts with.
+
+    This searcher has {e more} knowledge than even the strong local
+    model: every vertex knows its own and its neighbours' positions in
+    an underlying metric (here, the toroidal lattice), and forwards to
+    the neighbour closest to the target. The paper's point is that
+    scale-free graphs offer no such metric to exploit; this module
+    quantifies what that costs. *)
+
+type result = {
+  reached : bool;
+  steps : int; (** hops taken (= messages sent) *)
+}
+
+val greedy :
+  Sf_graph.Ugraph.t ->
+  dist:(int -> int -> int) ->
+  source:int ->
+  target:int ->
+  max_steps:int ->
+  result
+(** Forward greedily by [dist] to the target until reached or
+    [max_steps] hops; ties broken by first occurrence. The walk moves
+    even when no neighbour improves the distance (it takes the best
+    available), so [max_steps] is the only termination guard besides
+    arrival. *)

@@ -1,0 +1,64 @@
+type t = {
+  mutable prio : float array;
+  mutable value : int array;
+  mutable len : int;
+}
+
+let create () = { prio = Array.make 16 0.; value = Array.make 16 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let swap t i j =
+  let p = t.prio.(i) and v = t.value.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.value.(i) <- t.value.(j);
+  t.prio.(j) <- p;
+  t.value.(j) <- v
+
+let ensure t =
+  if t.len = Array.length t.prio then begin
+    let prio' = Array.make (2 * t.len) 0. and value' = Array.make (2 * t.len) 0 in
+    Array.blit t.prio 0 prio' 0 t.len;
+    Array.blit t.value 0 value' 0 t.len;
+    t.prio <- prio';
+    t.value <- value'
+  end
+
+let push t ~priority v =
+  ensure t;
+  t.prio.(t.len) <- priority;
+  t.value.(t.len) <- v;
+  t.len <- t.len + 1;
+  let i = ref (t.len - 1) in
+  while !i > 0 && t.prio.((!i - 1) / 2) < t.prio.(!i) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let peek_max t = if t.len = 0 then None else Some (t.prio.(0), t.value.(0))
+
+let pop_max t =
+  if t.len = 0 then None
+  else begin
+    let top = (t.prio.(0), t.value.(0)) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.prio.(0) <- t.prio.(t.len);
+      t.value.(0) <- t.value.(t.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let largest = ref !i in
+        if l < t.len && t.prio.(l) > t.prio.(!largest) then largest := l;
+        if r < t.len && t.prio.(r) > t.prio.(!largest) then largest := r;
+        if !largest = !i then continue := false
+        else begin
+          swap t !i !largest;
+          i := !largest
+        end
+      done
+    end;
+    Some top
+  end

@@ -1,0 +1,163 @@
+module Rng = Sf_prng.Rng
+module Ugraph = Sf_graph.Ugraph
+module Vec = Sf_graph.Vec
+
+type vertex = int
+type handle = int
+type model = Weak | Strong
+
+type t = {
+  model : model;
+  g : Ugraph.t;
+  target : vertex;
+  source : vertex;
+  near_target : bool array; (* target's closed neighbourhood *)
+  rng : Rng.t;
+  obfuscate : bool;
+  pub_of_real : (int, int) Hashtbl.t;
+  real_of_pub : Vec.t;
+  discovered : bool array;
+  order : Vec.t; (* discovery sequence *)
+  parent : int array; (* discovery tree: revealing vertex, 0 for roots *)
+  handle_lists : int array array; (* vertex-1 -> public handles, [||] until discovered *)
+  requested : (int, unit) Hashtbl.t; (* public ids of paid weak requests *)
+  explored : bool array; (* strong-requested vertices *)
+  mutable request_count : int;
+  mutable found_at : int option;
+  mutable neighbor_at : int option;
+}
+
+let publicize t real_id =
+  if not t.obfuscate then real_id
+  else
+    match Hashtbl.find_opt t.pub_of_real real_id with
+    | Some pub -> pub
+    | None ->
+      let pub = Vec.length t.real_of_pub in
+      Vec.push t.real_of_pub real_id;
+      Hashtbl.replace t.pub_of_real real_id pub;
+      pub
+
+let realize t pub =
+  if not t.obfuscate then begin
+    if pub < 0 || pub >= Ugraph.n_edges t.g then invalid_arg "Oracle: unknown handle";
+    pub
+  end
+  else if pub < 0 || pub >= Vec.length t.real_of_pub then invalid_arg "Oracle: unknown handle"
+  else Vec.get t.real_of_pub pub
+
+let discover ?(via = 0) t v =
+  if not t.discovered.(v - 1) then begin
+    t.discovered.(v - 1) <- true;
+    t.parent.(v - 1) <- via;
+    Vec.push t.order v;
+    let pubs = Array.map (publicize t) (Ugraph.incident t.g v) in
+    if t.obfuscate then Sf_prng.Shuffle.in_place t.rng pubs;
+    t.handle_lists.(v - 1) <- pubs;
+    if t.near_target.(v - 1) && t.neighbor_at = None then
+      t.neighbor_at <- Some t.request_count;
+    if v = t.target && t.found_at = None then t.found_at <- Some t.request_count
+  end
+
+let start ?(obfuscate = true) ~rng model g ~source ~target =
+  if not (Ugraph.mem_vertex g source) then invalid_arg "Oracle.start: bad source";
+  if not (Ugraph.mem_vertex g target) then invalid_arg "Oracle.start: bad target";
+  let n = Ugraph.n_vertices g in
+  let near_target = Array.make n false in
+  near_target.(target - 1) <- true;
+  Ugraph.iter_neighbors g target (fun u -> near_target.(u - 1) <- true);
+  let t =
+    {
+      model;
+      g;
+      target;
+      source;
+      near_target;
+      rng = Rng.split rng;
+      obfuscate;
+      pub_of_real = Hashtbl.create 64;
+      real_of_pub = Vec.create ();
+      discovered = Array.make n false;
+      order = Vec.create ();
+      parent = Array.make n 0;
+      handle_lists = Array.make n [||];
+      requested = Hashtbl.create 64;
+      explored = Array.make n false;
+      request_count = 0;
+      found_at = None;
+      neighbor_at = None;
+    }
+  in
+  discover t source;
+  t
+
+let model t = t.model
+let n_vertices t = Ugraph.n_vertices t.g
+let target t = t.target
+let source t = t.source
+let requests t = t.request_count
+
+let is_discovered t v = Ugraph.mem_vertex t.g v && t.discovered.(v - 1)
+
+let discovered_count t = Vec.length t.order
+let discovered_nth t i = Vec.get t.order i
+
+let check_discovered t v name =
+  if not (is_discovered t v) then invalid_arg ("Oracle." ^ name ^ ": vertex not discovered")
+
+let handles t v =
+  check_discovered t v "handles";
+  t.handle_lists.(v - 1)
+
+let degree t v = Array.length (handles t v)
+
+let handle_requested t h = Hashtbl.mem t.requested h
+
+let endpoints_if_known t h =
+  let real = realize t h in
+  let s, d = Ugraph.endpoints t.g real in
+  if t.discovered.(s - 1) && t.discovered.(d - 1) then Some (s, d) else None
+
+let request_weak t ~owner h =
+  if t.model <> Weak then invalid_arg "Oracle.request_weak: not a weak-model instance";
+  check_discovered t owner "request_weak";
+  let real = realize t h in
+  let far = Ugraph.other_endpoint t.g ~edge_id:real owner in
+  t.request_count <- t.request_count + 1;
+  Hashtbl.replace t.requested h ();
+  discover ~via:owner t far;
+  far
+
+let request_strong t v =
+  if t.model <> Strong then invalid_arg "Oracle.request_strong: not a strong-model instance";
+  check_discovered t v "request_strong";
+  t.request_count <- t.request_count + 1;
+  t.explored.(v - 1) <- true;
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Ugraph.iter_neighbors t.g v (fun u ->
+      discover ~via:v t u;
+      if not (Hashtbl.mem seen u) then begin
+        Hashtbl.replace seen u ();
+        acc := u :: !acc
+      end);
+  List.rev !acc
+
+let is_explored t v =
+  check_discovered t v "is_explored";
+  t.explored.(v - 1)
+
+let discovery_parent t v =
+  check_discovered t v "discovery_parent";
+  if t.parent.(v - 1) = 0 then None else Some t.parent.(v - 1)
+
+let discovery_path t v =
+  check_discovered t v "discovery_path";
+  let rec climb v acc =
+    match t.parent.(v - 1) with 0 -> v :: acc | parent -> climb parent (v :: acc)
+  in
+  climb v []
+
+let target_found t = t.found_at <> None
+let requests_when_found t = t.found_at
+let requests_when_neighbor t = t.neighbor_at

@@ -1,0 +1,136 @@
+(** The local-knowledge oracle: the only window a searching process has
+    onto the graph (Section "Modeling the searching process" of the
+    paper).
+
+    The searcher starts knowing one vertex. At any time it knows a set
+    of {e discovered} vertices, each with its identity, its degree and
+    a list of incident {e edge handles} whose far endpoints are hidden
+    until paid for. The two request types are exactly the paper's:
+
+    - {b weak}: a request is a pair (discovered vertex [u], edge handle
+      [e] incident to [u]); the answer is the identity of the far
+      endpoint [v] of [e], which becomes discovered (degree + handles).
+    - {b strong}: a request names a discovered vertex [u]; the answer
+      is the list of [u]'s neighbours, each of which becomes
+      discovered. (The paper phrases requests as naming a vertex
+      {e adjacent to} a discovered one; the two formulations simulate
+      each other within one request, and this one needs no bootstrap
+      convention for the first step.)
+
+    {b Information hiding.} Edge handles are opaque integers assigned
+    in first-exposure order, and each discovered vertex's handle list
+    is privately shuffled, so a strategy cannot read construction
+    timestamps out of edge ids or list positions — it sees exactly what
+    the paper's model allows, vertex identities included (identities
+    are the whole point: the target is "the vertex named [t]"). The
+    same physical edge carries the same handle at both endpoints, so a
+    searcher that has discovered both endpoints can recognise the edge
+    — also as in the paper, where the answer to a request includes the
+    full incident-edge lists.
+
+    The oracle also keeps the two score counters of the paper's
+    complexity measure — requests made when the target was first
+    discovered, and when a neighbour of the target was first discovered
+    — which the experiment {e runner} reads after the fact; honest
+    strategies never call these. *)
+
+type vertex = int
+
+type handle = int
+(** Opaque public edge id; meaningful only through this interface. *)
+
+type model = Weak | Strong
+
+type t
+
+val start :
+  ?obfuscate:bool ->
+  rng:Sf_prng.Rng.t ->
+  model ->
+  Sf_graph.Ugraph.t ->
+  source:vertex ->
+  target:vertex ->
+  t
+(** Fresh search instance; [source] is discovered at zero cost.
+    [obfuscate] (default [true]) enables handle renaming and list
+    shuffling; turn off only in tests that need to address physical
+    edge ids. [rng] drives the shuffling only.
+    @raise Invalid_argument if [source] or [target] is not a vertex. *)
+
+(** {1 What the searcher may observe} *)
+
+val model : t -> model
+val n_vertices : t -> int
+val target : t -> vertex
+val source : t -> vertex
+val requests : t -> int
+
+val is_discovered : t -> vertex -> bool
+
+val discovered_count : t -> int
+
+val discovered_nth : t -> int -> vertex
+(** Discovery sequence, [0 .. discovered_count - 1]; lets a strategy
+    pull new discoveries incrementally. *)
+
+val degree : t -> vertex -> int
+(** Observable degree of a {e discovered} vertex: the number of its
+    handles (a self-loop contributes one).
+    @raise Invalid_argument if undiscovered. *)
+
+val handles : t -> vertex -> handle array
+(** Handles of a discovered vertex. The array is owned by the oracle —
+    do not mutate. @raise Invalid_argument if undiscovered. *)
+
+val handle_requested : t -> handle -> bool
+(** Whether some past weak request already paid for this handle. *)
+
+val endpoints_if_known : t -> handle -> (vertex * vertex) option
+(** Both endpoints, when the searcher is in a position to know them —
+    i.e. both are discovered (the handle then appears in both their
+    lists). [None] otherwise. *)
+
+(** {1 Requests} *)
+
+val request_weak : t -> owner:vertex -> handle -> vertex
+(** One weak request; returns (and discovers) the far endpoint.
+    Counts 1 even if the edge was already requested or recognisable.
+    @raise Invalid_argument in the strong model, if [owner] is
+    undiscovered, or if the handle is not incident to [owner]. *)
+
+val request_strong : t -> vertex -> vertex list
+(** One strong request on a discovered vertex; discovers and returns
+    all its neighbours (with multiplicity collapsed).
+    @raise Invalid_argument in the weak model or if undiscovered. *)
+
+val is_explored : t -> vertex -> bool
+(** Strong model: whether the vertex was already strong-requested. *)
+
+(** {1 Discovery provenance}
+
+    The paper's task is to find {e a path} to the target, not merely
+    its name: every discovery is caused by a request at some known
+    vertex, so the discovery tree yields a certified graph path from
+    the source to anything discovered. *)
+
+val discovery_parent : t -> vertex -> vertex option
+(** The discovered vertex whose request revealed this one ([None] for
+    the source). @raise Invalid_argument if undiscovered. *)
+
+val discovery_path : t -> vertex -> vertex list
+(** The source-to-vertex path through the discovery tree (source
+    first). Every consecutive pair is an edge of the graph — the
+    deliverable the paper's searcher owes.
+    @raise Invalid_argument if undiscovered. *)
+
+(** {1 Scoring — for the runner, not for strategies} *)
+
+val target_found : t -> bool
+
+val requests_when_found : t -> int option
+(** Requests made when the target itself became discovered. [Some 0]
+    if [source = target]. *)
+
+val requests_when_neighbor : t -> int option
+(** Requests made when the discovered set first touched the target's
+    closed neighbourhood — the paper's lenient stopping rule. *)

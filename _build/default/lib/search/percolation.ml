@@ -1,0 +1,100 @@
+module Rng = Sf_prng.Rng
+module Ugraph = Sf_graph.Ugraph
+
+type params = {
+  replication_walk : int;
+  query_walk : int;
+  broadcast_prob : float;
+  max_messages : int;
+}
+
+let default_params ~n =
+  let root = int_of_float (ceil (sqrt (float_of_int n))) in
+  {
+    replication_walk = root;
+    query_walk = root;
+    broadcast_prob = 0.5;
+    max_messages = 8 * n;
+  }
+
+type result = { hit : bool; messages : int; contacted : int; replicas : int }
+
+let random_step rng g v =
+  let inc = Ugraph.incident g v in
+  if Array.length inc = 0 then v
+  else Ugraph.other_endpoint g ~edge_id:inc.(Rng.int rng (Array.length inc)) v
+
+let replicate rng g ~owner ~walk_length =
+  let members = Array.make (Ugraph.n_vertices g) false in
+  let pos = ref owner in
+  members.(owner - 1) <- true;
+  for _ = 1 to walk_length do
+    pos := random_step rng g !pos;
+    members.(!pos - 1) <- true
+  done;
+  members
+
+exception Found of int (* messages spent when the replica was hit *)
+
+let query rng g params ~source ~replicas =
+  let n = Ugraph.n_vertices g in
+  let contacted = Array.make n false in
+  let messages = ref 0 in
+  let n_contacted = ref 0 in
+  let queue = Queue.create () in
+  let touch v =
+    if not contacted.(v - 1) then begin
+      contacted.(v - 1) <- true;
+      incr n_contacted;
+      if replicas.(v - 1) then raise (Found !messages);
+      Queue.push v queue
+    end
+  in
+  let outcome =
+    try
+      touch source;
+      (* Seed walk: each hop is one message and contacts one vertex. *)
+      let pos = ref source in
+      for _ = 1 to params.query_walk do
+        if !messages < params.max_messages then begin
+          pos := random_step rng g !pos;
+          incr messages;
+          touch !pos
+        end
+      done;
+      (* Epidemic phase: every contacted vertex forwards over each
+         incident edge independently with probability broadcast_prob. *)
+      while (not (Queue.is_empty queue)) && !messages < params.max_messages do
+        let v = Queue.pop queue in
+        let inc = Ugraph.incident g v in
+        Array.iter
+          (fun edge_id ->
+            if !messages < params.max_messages && Rng.bernoulli rng params.broadcast_prob
+            then begin
+              incr messages;
+              touch (Ugraph.other_endpoint g ~edge_id v)
+            end)
+          inc
+      done;
+      None
+    with Found at -> Some at
+  in
+  match outcome with
+  | Some at ->
+    {
+      hit = true;
+      messages = at;
+      contacted = !n_contacted;
+      replicas = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 replicas;
+    }
+  | None ->
+    {
+      hit = false;
+      messages = !messages;
+      contacted = !n_contacted;
+      replicas = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 replicas;
+    }
+
+let run rng g params ~source ~target =
+  let replicas = replicate rng g ~owner:target ~walk_length:params.replication_walk in
+  query rng g params ~source ~replicas

@@ -1,0 +1,106 @@
+type outcome = {
+  strategy : string;
+  n_vertices : int;
+  total_requests : int;
+  to_target : int option;
+  to_neighbor : int option;
+  discovered : int;
+  gave_up : bool;
+}
+
+type stop_rule = At_target | At_neighbor
+
+let stopped stop_at oracle =
+  match stop_at with
+  | At_target -> Oracle.target_found oracle
+  | At_neighbor -> Oracle.requests_when_neighbor oracle <> None
+
+type trace_event = {
+  index : int;
+  kind : [ `Weak_edge | `Strong_vertex ];
+  at : int;
+  revealed : int list;
+  discovered_total : int;
+}
+
+let run_general ?budget ?(stop_at = At_target) ~rng ?on_event (strategy : Strategy.t) oracle =
+  if strategy.Strategy.model <> Oracle.model oracle then
+    invalid_arg "Runner.run: strategy and oracle use different knowledge models";
+  let budget =
+    match budget with Some b -> b | None -> (4 * Oracle.n_vertices oracle) + 64
+  in
+  let stepper = strategy.Strategy.prepare (Sf_prng.Rng.split rng) oracle in
+  let gave_up = ref false in
+  let continue = ref true in
+  let record kind at before =
+    match on_event with
+    | None -> ()
+    | Some f ->
+      let after = Oracle.discovered_count oracle in
+      let revealed =
+        List.init (after - before) (fun i -> Oracle.discovered_nth oracle (before + i))
+      in
+      f
+        {
+          index = Oracle.requests oracle;
+          kind;
+          at;
+          revealed;
+          discovered_total = after;
+        }
+  in
+  while !continue && (not (stopped stop_at oracle)) && Oracle.requests oracle < budget do
+    match stepper () with
+    | Strategy.Request_edge (owner, h) ->
+      let before = Oracle.discovered_count oracle in
+      ignore (Oracle.request_weak oracle ~owner h);
+      record `Weak_edge owner before
+    | Strategy.Request_vertex v ->
+      let before = Oracle.discovered_count oracle in
+      ignore (Oracle.request_strong oracle v);
+      record `Strong_vertex v before
+    | Strategy.Give_up ->
+      gave_up := true;
+      continue := false
+  done;
+  {
+    strategy = strategy.Strategy.name;
+    n_vertices = Oracle.n_vertices oracle;
+    total_requests = Oracle.requests oracle;
+    to_target = Oracle.requests_when_found oracle;
+    to_neighbor = Oracle.requests_when_neighbor oracle;
+    discovered = Oracle.discovered_count oracle;
+    gave_up = !gave_up;
+  }
+
+let run ?budget ?stop_at ~rng strategy oracle =
+  run_general ?budget ?stop_at ~rng strategy oracle
+
+let run_traced ?budget ?stop_at ~rng strategy oracle =
+  let events = ref [] in
+  let outcome =
+    run_general ?budget ?stop_at ~rng ~on_event:(fun e -> events := e :: !events) strategy
+      oracle
+  in
+  (outcome, List.rev !events)
+
+let trace_to_csv events =
+  Sf_stats.Csv.to_string
+    ~header:[ "index"; "kind"; "at"; "revealed"; "discovered_total" ]
+    ~rows:
+      (List.map
+         (fun e ->
+           [
+             string_of_int e.index;
+             (match e.kind with `Weak_edge -> "weak-edge" | `Strong_vertex -> "strong-vertex");
+             string_of_int e.at;
+             String.concat ";" (List.map string_of_int e.revealed);
+             string_of_int e.discovered_total;
+           ])
+         events)
+
+let search ?obfuscate ?budget ?stop_at ~rng g (strategy : Strategy.t) ~source ~target =
+  let oracle =
+    Oracle.start ?obfuscate ~rng strategy.Strategy.model g ~source ~target
+  in
+  run ?budget ?stop_at ~rng strategy oracle

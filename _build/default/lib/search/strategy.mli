@@ -1,0 +1,46 @@
+(** The strategy abstraction: a named recipe that, given a private
+    random stream and a fresh oracle, yields a stepper emitting one
+    request decision at a time.
+
+    Strategies observe the world exclusively through {!Oracle}'s
+    observation functions — they never touch the graph — so every
+    strategy here is a legitimate "local distributed algorithm" in the
+    paper's sense. *)
+
+type step =
+  | Request_edge of Oracle.vertex * Oracle.handle
+      (** weak request [(owner, handle)] *)
+  | Request_vertex of Oracle.vertex  (** strong request *)
+  | Give_up
+      (** the strategy has no useful move left (everything reachable
+          discovered) *)
+
+type t = {
+  name : string;
+  description : string;
+  model : Oracle.model;
+  prepare : Sf_prng.Rng.t -> Oracle.t -> unit -> step;
+}
+
+(** {1 A cursor over a vertex's not-yet-useful handles}
+
+    Shared by most strategies: walks a discovered vertex's handle list
+    left to right, skipping handles that were already paid for and
+    (optionally) handles whose two endpoints the searcher already
+    knows — requesting those can never discover anything. *)
+
+module Cursor : sig
+  type cursor
+
+  val create : unit -> cursor
+
+  val next_handle :
+    cursor -> Oracle.t -> skip_known:bool -> Oracle.vertex -> Oracle.handle option
+  (** Next potentially useful handle of the vertex, advancing past
+      permanently useless ones. Returns the same handle again until it
+      is requested (usefulness is re-checked each call, since other
+      requests may have revealed its endpoints in the meantime). *)
+
+  val exhausted : cursor -> Oracle.t -> Oracle.vertex -> bool
+  (** The cursor has passed the end of the vertex's handle list. *)
+end

@@ -1,0 +1,1 @@
+lib/sim/churn_sim.ml: Array Network Query_sim Sf_prng

@@ -1,0 +1,1 @@
+lib/sim/churn_sim.mli: Network Query_sim Sf_prng

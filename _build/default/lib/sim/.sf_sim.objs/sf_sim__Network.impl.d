@@ -1,0 +1,1 @@
+lib/sim/network.ml: Float Sf_graph Sf_prng

@@ -1,0 +1,1 @@
+lib/sim/network.mli: Sf_graph Sf_prng

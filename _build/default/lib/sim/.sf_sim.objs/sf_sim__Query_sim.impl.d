@@ -1,0 +1,1 @@
+lib/sim/query_sim.ml: Array Event_queue Network Option Sf_graph Sf_prng

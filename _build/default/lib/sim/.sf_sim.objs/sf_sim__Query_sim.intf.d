@@ -1,0 +1,1 @@
+lib/sim/query_sim.mli: Network Sf_prng

@@ -1,0 +1,65 @@
+type churn = { mean_up : float; mean_down : float }
+
+let uptime c = c.mean_up /. (c.mean_up +. c.mean_down)
+
+type result = {
+  hit : bool;
+  hit_time : float option;
+  messages : int;
+  dropped : int;
+  duration : float;
+}
+
+(* Lazily simulated alternating renewal process per node: advance a
+   node's timeline only when a message reaches it.  Exponential phase
+   lengths make the stationary initialisation exact (memorylessness:
+   the residual of the current phase has the full phase law). *)
+type liveness = {
+  rng : Sf_prng.Rng.t;
+  churn : churn;
+  state : bool array; (* alive now? *)
+  next_flip : float array;
+}
+
+let make_liveness rng churn ~n ~force_alive =
+  let l =
+    {
+      rng = Sf_prng.Rng.split rng;
+      churn;
+      state = Array.make n false;
+      next_flip = Array.make n 0.;
+    }
+  in
+  let p_up = uptime churn in
+  for v = 0 to n - 1 do
+    let alive = if v = force_alive - 1 then true else Sf_prng.Rng.bernoulli l.rng p_up in
+    l.state.(v) <- alive;
+    let mean = if alive then churn.mean_up else churn.mean_down in
+    l.next_flip.(v) <- Sf_prng.Dist.exponential l.rng ~rate:(1. /. mean)
+  done;
+  l
+
+let alive_at l v t =
+  let i = v - 1 in
+  while l.next_flip.(i) <= t do
+    l.state.(i) <- not l.state.(i);
+    let mean = if l.state.(i) then l.churn.mean_up else l.churn.mean_down in
+    l.next_flip.(i) <- l.next_flip.(i) +. Sf_prng.Dist.exponential l.rng ~rate:(1. /. mean)
+  done;
+  l.state.(i)
+
+let query ?max_messages ~rng net churn protocol ~source ~holders =
+  if churn.mean_up <= 0. || churn.mean_down <= 0. then
+    invalid_arg "Churn_sim.query: churn means must be positive";
+  let liveness = make_liveness rng churn ~n:(Network.n_nodes net) ~force_alive:source in
+  let res =
+    Query_sim.query ?max_messages ~alive:(alive_at liveness) ~rng net protocol ~source
+      ~holders
+  in
+  {
+    hit = res.Query_sim.hit;
+    hit_time = res.Query_sim.hit_time;
+    messages = res.Query_sim.messages;
+    dropped = res.Query_sim.dropped;
+    duration = res.Query_sim.duration;
+  }

@@ -1,0 +1,46 @@
+(** Query dissemination under churn.
+
+    Peer-to-peer populations turn over constantly; a protocol's
+    robustness is its hit rate when a fraction of the overlay is dead
+    at any moment. This module runs {!Query_sim}'s protocols over a
+    network whose nodes alternate between alive and dead phases
+    (exponential lifetimes — the standard memoryless churn model):
+
+    - each node is initially alive with probability
+      [uptime = mean_up / (mean_up + mean_down)], the stationary law;
+    - alive→dead and dead→alive transitions are scheduled as events
+      with exponential durations ([mean_up], [mean_down]);
+    - a message delivered to a dead node is dropped (its payload is
+      lost — walkers die, flood branches are pruned);
+    - content held by a dead node is unavailable while it is down.
+
+    The source is forced alive at query time (a dead peer asks no
+    questions). Costs count transmissions as in {!Query_sim}. *)
+
+type churn = {
+  mean_up : float; (** mean alive duration *)
+  mean_down : float; (** mean dead duration *)
+}
+
+val uptime : churn -> float
+(** Stationary probability of being alive. *)
+
+type result = {
+  hit : bool;
+  hit_time : float option;
+  messages : int;
+  dropped : int; (** transmissions lost to dead recipients *)
+  duration : float;
+}
+
+val query :
+  ?max_messages:int ->
+  rng:Sf_prng.Rng.t ->
+  Network.t ->
+  churn ->
+  Query_sim.protocol ->
+  source:int ->
+  holders:bool array ->
+  result
+(** One query under churn. @raise Invalid_argument on non-positive
+    churn means or the malformed inputs {!Query_sim.query} rejects. *)

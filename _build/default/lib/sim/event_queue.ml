@@ -1,0 +1,62 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; len = 0; next_seq = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get t i = match t.heap.(i) with Some e -> e | None -> assert false
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let schedule t ~time payload =
+  if Float.is_nan time || time < 0. then invalid_arg "Event_queue.schedule: bad time";
+  if t.len = Array.length t.heap then begin
+    let heap' = Array.make (2 * t.len) None in
+    Array.blit t.heap 0 heap' 0 t.len;
+    t.heap <- heap'
+  end;
+  t.heap.(t.len) <- Some { time; seq = t.next_seq; payload };
+  t.next_seq <- t.next_seq + 1;
+  t.len <- t.len + 1;
+  let i = ref (t.len - 1) in
+  while !i > 0 && earlier (get t !i) (get t ((!i - 1) / 2)) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let peek_time t = if t.len = 0 then None else Some (get t 0).time
+
+let next t =
+  if t.len = 0 then None
+  else begin
+    let top = get t 0 in
+    t.len <- t.len - 1;
+    t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- None;
+    let i = ref 0 in
+    let continue = ref (t.len > 0) in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && earlier (get t l) (get t !smallest) then smallest := l;
+      if r < t.len && earlier (get t r) (get t !smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap t !i !smallest;
+        i := !smallest
+      end
+    done;
+    Some (top.time, top.payload)
+  end

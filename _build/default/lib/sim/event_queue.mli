@@ -1,0 +1,18 @@
+(** Time-ordered event queue: the heart of the discrete-event
+    simulator. A binary min-heap on event time with a stable tiebreak
+    (insertion sequence), so simultaneous events run in schedule
+    order — a determinism requirement for reproducible simulations. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val schedule : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on NaN or negative time. *)
+
+val next : 'a t -> (float * 'a) option
+(** Pop the earliest event. *)
+
+val peek_time : 'a t -> float option

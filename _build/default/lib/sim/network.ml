@@ -1,0 +1,24 @@
+type latency_model = Constant of float | Uniform of float * float | Exponential of float
+
+type t = { graph : Sf_graph.Ugraph.t; latency : latency_model }
+
+let validate = function
+  | Constant c -> if c <= 0. then invalid_arg "Network: constant latency must be positive"
+  | Uniform (lo, hi) ->
+    if lo <= 0. || hi <= lo then invalid_arg "Network: need 0 < lo < hi"
+  | Exponential mean -> if mean <= 0. then invalid_arg "Network: mean latency must be positive"
+
+let create ?(latency = Constant 1.) graph =
+  validate latency;
+  { graph; latency }
+
+let graph t = t.graph
+let n_nodes t = Sf_graph.Ugraph.n_vertices t.graph
+
+let sample_latency t rng =
+  match t.latency with
+  | Constant c -> c
+  | Uniform (lo, hi) -> Sf_prng.Dist.uniform rng ~lo ~hi
+  | Exponential mean ->
+    (* clamp away from zero so event times strictly advance *)
+    Float.max 1e-9 (Sf_prng.Dist.exponential rng ~rate:(1. /. mean))

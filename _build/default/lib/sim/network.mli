@@ -1,0 +1,23 @@
+(** The simulated network: a topology plus a link-latency model.
+
+    Latencies are drawn per message transmission (links are not
+    assigned a fixed latency — the common choice for modelling
+    queueing jitter in overlay studies; a [Constant] model recovers
+    the synchronous-rounds picture). *)
+
+type latency_model =
+  | Constant of float
+  | Uniform of float * float  (** [lo, hi) *)
+  | Exponential of float  (** mean *)
+
+type t
+
+val create : ?latency:latency_model -> Sf_graph.Ugraph.t -> t
+(** Default latency: [Constant 1.] (hop count = time).
+    @raise Invalid_argument on non-positive latency parameters. *)
+
+val graph : t -> Sf_graph.Ugraph.t
+val n_nodes : t -> int
+
+val sample_latency : t -> Sf_prng.Rng.t -> float
+(** One transmission delay; always > 0. *)

@@ -1,0 +1,139 @@
+module Rng = Sf_prng.Rng
+module Ugraph = Sf_graph.Ugraph
+
+type protocol =
+  | Flood of { ttl : int }
+  | K_walkers of { k : int; ttl : int }
+  | Percolation of { q : float; ttl : int }
+
+type result = {
+  hit : bool;
+  hit_time : float option;
+  messages : int;
+  contacted : int;
+  dropped : int;
+  duration : float;
+}
+
+type message = { dst : int; from : int; ttl : int; kind : kind }
+and kind = Flood_msg | Walker | Percolation_msg
+
+let validate_protocol = function
+  | Flood { ttl } -> if ttl < 0 then invalid_arg "Query_sim: negative TTL"
+  | K_walkers { k; ttl } ->
+    if k < 1 then invalid_arg "Query_sim: need k >= 1";
+    if ttl < 0 then invalid_arg "Query_sim: negative TTL"
+  | Percolation { q; ttl } ->
+    if q < 0. || q > 1. then invalid_arg "Query_sim: q outside [0, 1]";
+    if ttl < 0 then invalid_arg "Query_sim: negative TTL"
+
+let single_target net v =
+  let holders = Array.make (Network.n_nodes net) false in
+  if v < 1 || v > Network.n_nodes net then invalid_arg "Query_sim.single_target: bad node";
+  holders.(v - 1) <- true;
+  holders
+
+let query ?max_messages ?(alive = fun _ _ -> true) ~rng net protocol ~source ~holders =
+  validate_protocol protocol;
+  let g = Network.graph net in
+  let n = Network.n_nodes net in
+  if source < 1 || source > n then invalid_arg "Query_sim.query: bad source";
+  if Array.length holders <> n then invalid_arg "Query_sim.query: holder array size mismatch";
+  let max_messages = Option.value ~default:(64 * n) max_messages in
+  let queue = Event_queue.create () in
+  let seen = Array.make n false in
+  (* duplicate suppression for the spreading protocols: a node
+     forwards a given query at most once *)
+  let forwarded = Array.make n false in
+  let flood_done v = forwarded.(v - 1) in
+  let mark_flood v = forwarded.(v - 1) <- true in
+  let contacted = ref 0 in
+  let messages = ref 0 in
+  let dropped = ref 0 in
+  let now = ref 0. in
+  let hit_time = ref None in
+  let touch v =
+    if not seen.(v - 1) then begin
+      seen.(v - 1) <- true;
+      incr contacted
+    end;
+    if holders.(v - 1) && !hit_time = None then hit_time := Some !now
+  in
+  let send ~from ~dst ~ttl ~kind =
+    if !messages < max_messages then begin
+      incr messages;
+      Event_queue.schedule queue
+        ~time:(!now +. Network.sample_latency net rng)
+        { dst; from; ttl; kind }
+    end
+  in
+  let forward_flood v ~from ~ttl =
+    if ttl > 0 then
+      Ugraph.iter_neighbors g v (fun u ->
+          if u <> from && u <> v then send ~from:v ~dst:u ~ttl:(ttl - 1) ~kind:Flood_msg)
+  in
+  let forward_walker v ~ttl =
+    if ttl > 0 then begin
+      let inc = Ugraph.incident g v in
+      if Array.length inc > 0 then begin
+        let u = Ugraph.other_endpoint g ~edge_id:inc.(Rng.int rng (Array.length inc)) v in
+        send ~from:v ~dst:u ~ttl:(ttl - 1) ~kind:Walker
+      end
+    end
+  in
+  let forward_percolation v ~from ~ttl ~q =
+    if ttl > 0 then
+      Ugraph.iter_neighbors g v (fun u ->
+          if u <> from && u <> v && Rng.bernoulli rng q then
+            send ~from:v ~dst:u ~ttl:(ttl - 1) ~kind:Percolation_msg)
+  in
+  (* kick off from the source at time 0 *)
+  touch source;
+  (match protocol with
+  | _ when !hit_time <> None -> () (* source holds the content *)
+  | Flood { ttl } ->
+    mark_flood source;
+    forward_flood source ~from:0 ~ttl
+  | K_walkers { k; ttl } ->
+    for _ = 1 to k do
+      forward_walker source ~ttl
+    done
+  | Percolation { q; ttl } ->
+    mark_flood source;
+    forward_percolation source ~from:0 ~ttl ~q);
+  let continue = ref true in
+  while !continue && !hit_time = None do
+    match Event_queue.next queue with
+    | None -> continue := false
+    | Some (time, msg) ->
+      now := time;
+      if not (alive msg.dst time) then incr dropped
+      else begin
+      touch msg.dst;
+      if !hit_time = None then begin
+        match msg.kind with
+        | Flood_msg ->
+          (* duplicate suppression: a node floods a query only once *)
+          if not (flood_done msg.dst) then begin
+            mark_flood msg.dst;
+            forward_flood msg.dst ~from:msg.from ~ttl:msg.ttl
+          end
+        | Walker -> forward_walker msg.dst ~ttl:msg.ttl
+        | Percolation_msg ->
+          if not (flood_done msg.dst) then begin
+            mark_flood msg.dst;
+            match protocol with
+            | Percolation { q; _ } -> forward_percolation msg.dst ~from:msg.from ~ttl:msg.ttl ~q
+            | Flood _ | K_walkers _ -> assert false
+          end
+      end
+      end
+  done;
+  {
+    hit = !hit_time <> None;
+    hit_time = !hit_time;
+    messages = !messages;
+    contacted = !contacted;
+    dropped = !dropped;
+    duration = !now;
+  }

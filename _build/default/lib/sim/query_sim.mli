@@ -1,0 +1,61 @@
+(** Discrete-event simulation of unstructured-P2P query protocols.
+
+    The search-cost experiments (T1–T4, T11) count oracle requests; a
+    deployed system also cares about {e wall-clock latency} and
+    {e total traffic} when queries propagate concurrently. This module
+    runs the classic query-dissemination protocols as genuinely
+    distributed processes over {!Network.t} — every message is an
+    event with a transmission delay, nodes react only to deliveries —
+    and reports both cost dimensions:
+
+    - {!Flood}: forward to every neighbour except the sender, bounded
+      by a TTL (Gnutella's original scheme);
+    - {!K_walkers}: [k] concurrent random walkers, each forwarded to
+      one uniform neighbour per hop (Lv et al.'s replacement that
+      trades latency for traffic);
+    - {!Percolation}: forward over each link independently with
+      probability [q] (the spread phase of Sarshar et al.).
+
+    The simulation stops at the first delivery to a node holding the
+    content (recording time and traffic so far), on traffic exhaustion
+    ([max_messages]), or when no events remain. Duplicate-suppression
+    state ("seen this query id") is per node, as in the real
+    protocols. *)
+
+type protocol =
+  | Flood of { ttl : int }
+  | K_walkers of { k : int; ttl : int }
+  | Percolation of { q : float; ttl : int }
+
+type result = {
+  hit : bool;
+  hit_time : float option; (** simulated time of the first hit *)
+  messages : int; (** transmissions before the run ended *)
+  contacted : int; (** distinct nodes that saw the query *)
+  dropped : int; (** transmissions lost to dead recipients (non-zero
+                     only with a liveness filter) *)
+  duration : float; (** simulated time when the run ended *)
+}
+
+val query :
+  ?max_messages:int ->
+  ?alive:(int -> float -> bool) ->
+  rng:Sf_prng.Rng.t ->
+  Network.t ->
+  protocol ->
+  source:int ->
+  holders:bool array ->
+  result
+(** Run one query from [source] against the content-holder set
+    ([holders.(v-1)]); a source that holds the content hits at time 0
+    with no messages. [max_messages] defaults to [64 × nodes].
+    [alive v t] (default: always [true]) gates deliveries: a message
+    arriving at a node that is dead at time [t] is dropped and counted
+    in [dropped], and a dead holder's content is unavailable. The
+    filter is only ever queried with non-decreasing [t] (event order),
+    which the churn wrapper in {!Churn_sim} relies on.
+    @raise Invalid_argument on malformed protocol parameters, a bad
+    source, or a holder array of the wrong length. *)
+
+val single_target : Network.t -> int -> bool array
+(** Holder set containing exactly one node. *)

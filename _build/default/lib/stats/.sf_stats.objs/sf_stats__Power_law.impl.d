@@ -1,0 +1,1 @@
+lib/stats/power_law.ml: Array Float Hashtbl List Seq

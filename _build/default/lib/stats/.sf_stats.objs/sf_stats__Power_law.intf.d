@@ -1,0 +1,1 @@
+lib/stats/power_law.mli:

@@ -1,0 +1,80 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape_field s =
+  if not (needs_quoting s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_string ~header ~rows =
+  let width = List.length header in
+  let render_row row =
+    let padded = row @ List.init (max 0 (width - List.length row)) (fun _ -> "") in
+    String.concat "," (List.map escape_field padded)
+  in
+  String.concat "\n" (render_row header :: List.map render_row rows) ^ "\n"
+
+let write ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header ~rows))
+
+let parse text =
+  let rows = ref [] and fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let len = String.length text in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  let row_started = ref false in
+  while !i < len do
+    let c = text.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < len && text.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    end
+    else begin
+      match c with
+      | '"' -> in_quotes := true
+      | ',' ->
+        row_started := true;
+        flush_field ()
+      | '\n' ->
+        if !row_started || Buffer.length buf > 0 || !fields <> [] then flush_row ();
+        row_started := false
+      | '\r' -> ()
+      | c ->
+        row_started := true;
+        Buffer.add_char buf c
+    end;
+    incr i
+  done;
+  if !in_quotes then failwith "Csv.parse: unterminated quoted field";
+  if !row_started || Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
+let parse_file ~path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse (In_channel.input_all ic))

@@ -1,0 +1,19 @@
+(** Minimal CSV writing and parsing (RFC-4180 quoting) — the data
+    export path for experiment tables and search traces, so results
+    can leave the harness for external plotting. *)
+
+val escape_field : string -> string
+(** Quote a field iff it contains a comma, quote or newline. *)
+
+val to_string : header:string list -> rows:string list list -> string
+(** Render with CRLF-free line endings (plain [\n]); short rows are
+    padded to the header width. *)
+
+val write : path:string -> header:string list -> rows:string list list -> unit
+
+val parse : string -> string list list
+(** Parse CSV text (handles quoted fields with embedded commas,
+    quotes and newlines). The header line, if any, is returned as the
+    first row. @raise Failure on unterminated quotes. *)
+
+val parse_file : path:string -> string list list

@@ -1,0 +1,92 @@
+type bin = { lo : float; hi : float; count : int; density : float }
+
+let finish ~n bins_rev =
+  List.rev_map
+    (fun (lo, hi, count) ->
+      let width = hi -. lo in
+      let density =
+        if width <= 0. || n = 0 then 0.
+        else float_of_int count /. (float_of_int n *. width)
+      in
+      { lo; hi; count; density })
+    bins_rev
+
+let linear xs ~bins =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Histogram.linear: empty sample";
+  if bins < 1 then invalid_arg "Histogram.linear: need bins >= 1";
+  let lo = float_of_int (Array.fold_left min xs.(0) xs) in
+  let hi = float_of_int (Array.fold_left max xs.(0) xs) +. 1. in
+  let width = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = min (bins - 1) (int_of_float ((float_of_int x -. lo) /. width)) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  let acc = ref [] in
+  for i = bins - 1 downto 0 do
+    let blo = lo +. (float_of_int i *. width) in
+    acc := (blo, blo +. width, counts.(i)) :: !acc
+  done;
+  finish ~n (List.rev !acc)
+
+let logarithmic xs ?(base = 2.0) () =
+  if base <= 1. then invalid_arg "Histogram.logarithmic: need base > 1";
+  let positive = Array.of_seq (Seq.filter (fun x -> x > 0) (Array.to_seq xs)) in
+  let n = Array.length positive in
+  if n = 0 then invalid_arg "Histogram.logarithmic: no positive values";
+  let max_v = float_of_int (Array.fold_left max 1 positive) in
+  let n_bins =
+    let rec go lo k = if lo > max_v then k else go (lo *. base) (k + 1) in
+    go 1. 0
+  in
+  let counts = Array.make n_bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float (Float.floor (log (float_of_int x) /. log base)) in
+      let i = min (n_bins - 1) (max 0 i) in
+      counts.(i) <- counts.(i) + 1)
+    positive;
+  let acc = ref [] in
+  for i = n_bins - 1 downto 0 do
+    let lo = base ** float_of_int i in
+    acc := (lo, lo *. base, counts.(i)) :: !acc
+  done;
+  finish ~n (List.rev !acc)
+
+let ccdf xs =
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let tbl = Hashtbl.create 64 in
+    Array.iter
+      (fun x ->
+        let c = try Hashtbl.find tbl x with Not_found -> 0 in
+        Hashtbl.replace tbl x (c + 1))
+      xs;
+    let distinct =
+      Hashtbl.fold (fun x c acc -> (x, c) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    let _, acc =
+      List.fold_left
+        (fun (tail, acc) (x, c) ->
+          let tail = tail + c in
+          (tail, (x, float_of_int tail /. float_of_int n) :: acc))
+        (0, []) distinct
+    in
+    acc
+  end
+
+let render ?(width = 50) bins =
+  let max_count = List.fold_left (fun acc b -> max acc b.count) 1 bins in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun b ->
+      let bar_len = b.count * width / max_count in
+      Buffer.add_string buf
+        (Printf.sprintf "[%10.1f, %10.1f) %8d %s\n" b.lo b.hi b.count
+           (String.make bar_len '#')))
+    bins;
+  Buffer.contents buf

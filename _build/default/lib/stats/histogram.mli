@@ -1,0 +1,22 @@
+(** Histograms for heavy-tailed integer samples: linear bins,
+    logarithmic bins (the standard way to render power-law degree
+    data) and empirical CCDFs. *)
+
+type bin = { lo : float; hi : float; count : int; density : float }
+(** [density] is count divided by (sample size × bin width), so
+    densities integrate to 1. *)
+
+val linear : int array -> bins:int -> bin list
+(** Equal-width bins spanning the sample range.
+    @raise Invalid_argument on empty samples or [bins < 1]. *)
+
+val logarithmic : int array -> ?base:float -> unit -> bin list
+(** Bins with geometrically growing widths ([base] defaults to 2.0),
+    starting at 1; zero values are dropped (log bins cannot hold
+    them). *)
+
+val ccdf : int array -> (int * float) list
+(** [(x, P(X >= x))] at every distinct sample value, ascending. *)
+
+val render : ?width:int -> bin list -> string
+(** ASCII bar rendering for quick terminal inspection. *)

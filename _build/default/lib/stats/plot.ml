@@ -1,0 +1,65 @@
+type series = { label : string; glyph : char; points : (float * float) list }
+
+let default_glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 64) ?(height = 20) ?(x_log = false) ?(y_log = false) ?(x_label = "x")
+    ?(y_label = "y") series_list =
+  let width = max 8 width and height = max 4 height in
+  let transform log v = if log then log10 v else v in
+  let usable (x, y) = (not (x_log && x <= 0.)) && not (y_log && y <= 0.) in
+  let all_points =
+    List.concat_map
+      (fun s -> List.filter usable s.points |> List.map (fun (x, y) -> (transform x_log x, transform y_log y)))
+      series_list
+  in
+  match all_points with
+  | [] -> "(no plottable points)\n"
+  | (x0, y0) :: rest ->
+    let x_min, x_max, y_min, y_max =
+      List.fold_left
+        (fun (xl, xh, yl, yh) (x, y) ->
+          (Float.min xl x, Float.max xh x, Float.min yl y, Float.max yh y))
+        (x0, x0, y0, y0) rest
+    in
+    (* pad degenerate ranges so single points still land on canvas *)
+    let pad lo hi = if hi -. lo < 1e-12 then (lo -. 1., hi +. 1.) else (lo, hi) in
+    let x_min, x_max = pad x_min x_max and y_min, y_max = pad y_min y_max in
+    let canvas = Array.make_matrix height width ' ' in
+    let place glyph (x, y) =
+      let col =
+        int_of_float (Float.round ((x -. x_min) /. (x_max -. x_min) *. float_of_int (width - 1)))
+      in
+      let row =
+        int_of_float (Float.round ((y -. y_min) /. (y_max -. y_min) *. float_of_int (height - 1)))
+      in
+      canvas.(height - 1 - row).(col) <- glyph
+    in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun pt ->
+            if usable pt then
+              place s.glyph (transform x_log (fst pt), transform y_log (snd pt)))
+          s.points)
+      series_list;
+    let buf = Buffer.create (width * height * 2) in
+    let axis_value log v = if log then 10. ** v else v in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s in [%.3g, %.3g]%s\n" y_label
+         (if y_log then " (log)" else "")
+         (axis_value y_log y_min) (axis_value y_log y_max)
+         "");
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (String.init width (fun i -> row.(i)));
+        Buffer.add_char buf '\n')
+      canvas;
+    Buffer.add_string buf ("+-" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s in [%.3g, %.3g]   legend: %s\n" x_label
+         (if x_log then " (log)" else "")
+         (axis_value x_log x_min) (axis_value x_log x_max)
+         (String.concat ", "
+            (List.map (fun s -> Printf.sprintf "%c = %s" s.glyph s.label) series_list)));
+    Buffer.contents buf

@@ -1,0 +1,31 @@
+(** ASCII scatter plots — the harness's way of rendering the paper's
+    "figures" (scaling curves) directly in terminal output.
+
+    Multiple labelled series share one canvas; each series draws with
+    its own glyph, and collisions show the later series' glyph. Axes
+    can be logarithmic, which is how every scaling figure here is
+    read: straight lines are power laws, and their slopes are the
+    exponents the experiments fit numerically. *)
+
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_log:bool ->
+  ?y_log:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Canvas defaults: 64 × 20 characters, linear axes. Non-positive
+    points are dropped on logarithmic axes. Returns a printable block
+    including axis ranges and the legend; degenerate inputs (no
+    plottable points) render an explanatory placeholder. *)
+
+val default_glyphs : char array
+(** Cycle of glyphs for building series lists: [*], [+], [o], [x], …. *)

@@ -1,0 +1,35 @@
+let of_int_array xs = Array.map float_of_int xs
+
+let quantile_sorted sorted ~q =
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let check xs q =
+  if Array.length xs = 0 then invalid_arg "Quantile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Quantile: q outside [0, 1]"
+
+let quantile xs ~q =
+  check xs q;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  quantile_sorted sorted ~q
+
+let median xs = quantile xs ~q:0.5
+
+let quantiles xs ~qs =
+  List.iter (fun q -> check xs q) qs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  List.map (fun q -> quantile_sorted sorted ~q) qs
+
+let iqr xs =
+  match quantiles xs ~qs:[ 0.25; 0.75 ] with
+  | [ a; b ] -> b -. a
+  | _ -> assert false

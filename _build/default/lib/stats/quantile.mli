@@ -1,0 +1,16 @@
+(** Exact quantiles of in-memory samples (linear-interpolation
+    definition, type 7 / the numpy default). *)
+
+val quantile : float array -> q:float -> float
+(** [quantile xs ~q] for [0 <= q <= 1]; sorts a copy.
+    @raise Invalid_argument on an empty sample or q outside [0,1]. *)
+
+val median : float array -> float
+
+val quantiles : float array -> qs:float list -> float list
+(** One sort, many quantiles. *)
+
+val iqr : float array -> float
+(** Interquartile range. *)
+
+val of_int_array : int array -> float array

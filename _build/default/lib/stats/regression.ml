@@ -1,0 +1,48 @@
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;
+  n_points : int;
+  slope_std_error : float;
+}
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Regression.linear: need at least two points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0. points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0. points in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. ((x -. mx) *. (x -. mx))) 0. points in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0. points in
+  let syy = List.fold_left (fun acc (_, y) -> acc +. ((y -. my) *. (y -. my))) 0. points in
+  if sxx = 0. then invalid_arg "Regression.linear: all x values identical";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let e = y -. (intercept +. (slope *. x)) in
+        acc +. (e *. e))
+      0. points
+  in
+  let r_squared = if syy = 0. then 1. else 1. -. (ss_res /. syy) in
+  let slope_std_error =
+    if n <= 2 then 0. else sqrt (ss_res /. (fn -. 2.) /. sxx)
+  in
+  { slope; intercept; r_squared; n_points = n; slope_std_error }
+
+let log_log points =
+  let logged =
+    List.map
+      (fun (x, y) ->
+        if x <= 0. || y <= 0. then
+          invalid_arg "Regression.log_log: coordinates must be positive";
+        (log x, log y))
+      points
+  in
+  linear logged
+
+let power_fit_constant fit = exp fit.intercept
+let predict fit x = fit.intercept +. (fit.slope *. x)
+let predict_power fit x = power_fit_constant fit *. (x ** fit.slope)

@@ -1,0 +1,31 @@
+(** Least-squares line fitting, including the log–log fits that turn
+    measured (n, cost) series into scaling exponents — the statistic
+    every lower-bound experiment reports. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;
+  n_points : int;
+  slope_std_error : float;
+}
+
+val linear : (float * float) list -> fit
+(** Ordinary least squares of [y] on [x].
+    @raise Invalid_argument with fewer than two distinct x values. *)
+
+val log_log : (float * float) list -> fit
+(** OLS of [log y] on [log x]; [slope] is then the scaling exponent of
+    the power law [y ≈ C·x^slope]. Points with non-positive
+    coordinates are rejected. *)
+
+val power_fit_constant : fit -> float
+(** The multiplicative constant [C = exp intercept] of a {!log_log}
+    fit. *)
+
+val predict : fit -> float -> float
+(** [predict fit x] for a {!linear} fit; for a {!log_log} fit apply to
+    [log x] and exponentiate, or use {!predict_power}. *)
+
+val predict_power : fit -> float -> float
+(** [C·x^slope] for a {!log_log} fit. *)

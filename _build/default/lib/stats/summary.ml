@@ -1,0 +1,63 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations (Welford) *)
+  mutable lo : float;
+  mutable hi : float;
+  mutable sum : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; lo = infinity; hi = neg_infinity; sum = 0. }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.sum <- t.sum +. x
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let std_error t = if t.n = 0 then 0. else stddev t /. sqrt (float_of_int t.n)
+let min_value t = t.lo
+let max_value t = t.hi
+let total t = t.sum
+
+let ci95_halfwidth t = 1.96 *. std_error t
+
+let ci95 t =
+  let h = ci95_halfwidth t in
+  (mean t -. h, mean t +. h)
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let fa = float_of_int a.n and fb = float_of_int b.n and fn = float_of_int (a.n + b.n) in
+    let delta = b.mean -. a.mean in
+    {
+      n;
+      mean = a.mean +. (delta *. fb /. fn);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn);
+      lo = min a.lo b.lo;
+      hi = max a.hi b.hi;
+      sum = a.sum +. b.sum;
+    }
+  end
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t
+
+let of_int_array xs =
+  let t = create () in
+  Array.iter (add_int t) xs;
+  t

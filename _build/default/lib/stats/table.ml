@@ -1,0 +1,59 @@
+type align = Left | Right
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else begin
+    let fill = String.make (width - len) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let normalize_aligns a n =
+  let len = List.length a in
+  if len >= n then a else a @ List.init (n - len) (fun _ -> Right)
+
+let render ?aligns ~headers ~rows () =
+  let n_cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length headers) rows
+  in
+  let normalize row =
+    row @ List.init (n_cols - List.length row) (fun _ -> "")
+  in
+  let headers = normalize headers in
+  let rows = List.map normalize rows in
+  let aligns =
+    match aligns with
+    | Some a -> normalize_aligns a n_cols
+    | None -> List.init n_cols (fun _ -> Right)
+  and widths =
+    List.init n_cols (fun c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length (List.nth headers c))
+          rows)
+  in
+  let line row =
+    String.concat "  " (List.mapi (fun c cell -> pad (List.nth aligns c) (List.nth widths c) cell) row)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((line headers :: rule :: List.map line rows) @ [ "" ])
+
+let fmt_float ?(digits = 3) x =
+  if Float.is_nan x then "nan"
+  else if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" digits x
+
+let fmt_sci x = Printf.sprintf "%.3g" x
+
+let fmt_int_grouped n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf '_';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

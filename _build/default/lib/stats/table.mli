@@ -1,0 +1,19 @@
+(** ASCII tables — the output format of every experiment in the bench
+    harness. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list -> headers:string list -> rows:string list list -> unit -> string
+(** Column-sized table with a header rule. [aligns] defaults to Right
+    for every column; short rows are padded with empty cells. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Fixed-point with [digits] decimals (default 3); infinities and NaN
+    spelled out. *)
+
+val fmt_sci : float -> string
+(** Scientific notation with 3 significant digits. *)
+
+val fmt_int_grouped : int -> string
+(** Thousands separated by underscores: [1_234_567]. *)

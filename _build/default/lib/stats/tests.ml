@@ -1,0 +1,168 @@
+(* Lanczos approximation of log Γ, g = 7, n = 9 coefficients; accurate
+   to ~1e-13 on the positive reals we use. *)
+let log_gamma =
+  let coeffs =
+    [|
+      0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+      771.32342877765313; -176.61502916214059; 12.507343278686905;
+      -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+    |]
+  in
+  fun x ->
+    if x <= 0. then invalid_arg "Tests.log_gamma: need x > 0";
+    let x = x -. 1. in
+    let a = ref coeffs.(0) in
+    for i = 1 to 8 do
+      a := !a +. (coeffs.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+(* Regularised incomplete gamma, after Numerical Recipes (gser / gcf). *)
+
+let gamma_p_series ~a ~x =
+  let ap = ref a and sum = ref (1. /. a) and del = ref (1. /. a) in
+  let continue = ref true and iter = ref 0 in
+  while !continue && !iter < 500 do
+    incr iter;
+    ap := !ap +. 1.;
+    del := !del *. x /. !ap;
+    sum := !sum +. !del;
+    if Float.abs !del < Float.abs !sum *. 1e-14 then continue := false
+  done;
+  !sum *. exp ((-.x) +. (a *. log x) -. log_gamma a)
+
+let gamma_q_cont_frac ~a ~x =
+  let tiny = 1e-300 in
+  let b = ref (x +. 1. -. a) and c = ref (1. /. tiny) in
+  let d = ref (1. /. !b) in
+  let h = ref !d in
+  let i = ref 1 and continue = ref true in
+  while !continue && !i < 500 do
+    let an = -.float_of_int !i *. (float_of_int !i -. a) in
+    b := !b +. 2.;
+    d := (an *. !d) +. !b;
+    if Float.abs !d < tiny then d := tiny;
+    c := !b +. (an /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1. /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.) < 1e-14 then continue := false;
+    incr i
+  done;
+  !h *. exp ((-.x) +. (a *. log x) -. log_gamma a)
+
+let gamma_p ~a ~x =
+  if a <= 0. then invalid_arg "Tests.gamma_p: need a > 0";
+  if x < 0. then invalid_arg "Tests.gamma_p: need x >= 0";
+  if x = 0. then 0.
+  else if x < a +. 1. then gamma_p_series ~a ~x
+  else 1. -. gamma_q_cont_frac ~a ~x
+
+let chi_square_cdf ~dof x =
+  if dof < 1 then invalid_arg "Tests.chi_square_cdf: need dof >= 1";
+  if x <= 0. then 0. else gamma_p ~a:(float_of_int dof /. 2.) ~x:(x /. 2.)
+
+let counts_to_table sample =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (k, c) ->
+      let prev = try Hashtbl.find tbl k with Not_found -> 0 in
+      Hashtbl.replace tbl k (prev + c))
+    sample;
+  tbl
+
+let union_categories t1 t2 =
+  let keys = Hashtbl.create 64 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t1;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t2;
+  Hashtbl.fold (fun k () acc -> k :: acc) keys [] |> List.sort compare
+
+let lookup tbl k = try Hashtbl.find tbl k with Not_found -> 0
+
+let chi_square_two_sample sample1 sample2 =
+  let t1 = counts_to_table sample1 and t2 = counts_to_table sample2 in
+  let n1 = Hashtbl.fold (fun _ c acc -> acc + c) t1 0 in
+  let n2 = Hashtbl.fold (fun _ c acc -> acc + c) t2 0 in
+  if n1 = 0 || n2 = 0 then invalid_arg "Tests.chi_square_two_sample: empty sample";
+  let cats = union_categories t1 t2 in
+  (* Pool sparse categories (combined count < 10, i.e. expected < 5 per
+     side for balanced samples) into one bucket. *)
+  let pooled1 = ref 0 and pooled2 = ref 0 in
+  let kept =
+    List.filter
+      (fun k ->
+        let c1 = lookup t1 k and c2 = lookup t2 k in
+        if c1 + c2 < 10 then begin
+          pooled1 := !pooled1 + c1;
+          pooled2 := !pooled2 + c2;
+          false
+        end
+        else true)
+      cats
+  in
+  let cells =
+    List.map (fun k -> (lookup t1 k, lookup t2 k)) kept
+    @ (if !pooled1 + !pooled2 > 0 then [ (!pooled1, !pooled2) ] else [])
+  in
+  let k = List.length cells in
+  if k < 2 then (0., 1, 1.)
+  else begin
+    let f1 = float_of_int n1 and f2 = float_of_int n2 in
+    let stat =
+      List.fold_left
+        (fun acc (c1, c2) ->
+          let tot = float_of_int (c1 + c2) in
+          let e1 = tot *. f1 /. (f1 +. f2) and e2 = tot *. f2 /. (f1 +. f2) in
+          acc
+          +. (((float_of_int c1 -. e1) ** 2.) /. e1)
+          +. (((float_of_int c2 -. e2) ** 2.) /. e2))
+        0. cells
+    in
+    let dof = k - 1 in
+    (stat, dof, 1. -. chi_square_cdf ~dof stat)
+  end
+
+let total_variation sample1 sample2 =
+  let t1 = counts_to_table sample1 and t2 = counts_to_table sample2 in
+  let n1 = Hashtbl.fold (fun _ c acc -> acc + c) t1 0 in
+  let n2 = Hashtbl.fold (fun _ c acc -> acc + c) t2 0 in
+  if n1 = 0 || n2 = 0 then invalid_arg "Tests.total_variation: empty sample";
+  let cats = union_categories t1 t2 in
+  0.5
+  *. List.fold_left
+       (fun acc k ->
+         acc
+         +. Float.abs
+              ((float_of_int (lookup t1 k) /. float_of_int n1)
+              -. (float_of_int (lookup t2 k) /. float_of_int n2)))
+       0. cats
+
+let ks_significance lambda =
+  (* Q_KS(λ) = 2 Σ_{j≥1} (-1)^{j-1} e^{-2 j² λ²} *)
+  let sum = ref 0. and sign = ref 1. in
+  for j = 1 to 100 do
+    sum := !sum +. (!sign *. exp (-2. *. float_of_int (j * j) *. lambda *. lambda));
+    sign := -. !sign
+  done;
+  Float.max 0. (Float.min 1. (2. *. !sum))
+
+let ks_two_sample xs ys =
+  let n = Array.length xs and m = Array.length ys in
+  if n = 0 || m = 0 then invalid_arg "Tests.ks_two_sample: empty sample";
+  let sx = Array.copy xs and sy = Array.copy ys in
+  Array.sort compare sx;
+  Array.sort compare sy;
+  let i = ref 0 and j = ref 0 and d = ref 0. in
+  while !i < n && !j < m do
+    let x = sx.(!i) and y = sy.(!j) in
+    if x <= y then incr i;
+    if y <= x then incr j;
+    let fx = float_of_int !i /. float_of_int n in
+    let fy = float_of_int !j /. float_of_int m in
+    if Float.abs (fx -. fy) > !d then d := Float.abs (fx -. fy)
+  done;
+  let ne = float_of_int n *. float_of_int m /. float_of_int (n + m) in
+  let lambda = (sqrt ne +. 0.12 +. (0.11 /. sqrt ne)) *. !d in
+  (!d, ks_significance lambda)

@@ -1,0 +1,26 @@
+(** Hypothesis tests used by the equivalence experiments: comparing the
+    empirical distribution of [G] against [σ(G)] means comparing two
+    categorical samples. *)
+
+val gamma_p : a:float -> x:float -> float
+(** Regularised lower incomplete gamma [P(a, x)] (series + continued
+    fraction), the building block of the chi-square CDF. *)
+
+val chi_square_cdf : dof:int -> float -> float
+
+val chi_square_two_sample :
+  (string * int) list -> (string * int) list -> float * int * float
+(** [(statistic, dof, p_value)] for the two-sample chi-square test on
+    categorical counts. Categories with combined expected count below 5
+    are pooled into a single bucket (the usual validity fix); the union
+    of category labels is used.
+    @raise Invalid_argument if either sample is empty. *)
+
+val total_variation :
+  (string * int) list -> (string * int) list -> float
+(** Total-variation distance between the two empirical distributions,
+    in [0, 1]. *)
+
+val ks_two_sample : float array -> float array -> float * float
+(** [(statistic, approximate p_value)] of the two-sample
+    Kolmogorov–Smirnov test (asymptotic Q_KS significance). *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Hashtbl Int64 List Printf Sf_core Sf_gen Sf_graph Sf_prng Sf_search Sf_stats String

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Float Gen Int64 Printf QCheck QCheck_alcotest Sf_core Sf_gen Sf_graph Sf_prng Sf_search Sf_stats

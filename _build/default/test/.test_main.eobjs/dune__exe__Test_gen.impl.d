@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Float Fun Gen List Printf QCheck QCheck_alcotest Result Sf_core Sf_gen Sf_graph Sf_prng Sf_stats String

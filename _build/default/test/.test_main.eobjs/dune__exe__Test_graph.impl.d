@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Filename Float Fun Gen List Printf QCheck QCheck_alcotest Sf_core Sf_gen Sf_graph Sf_prng String Sys

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_edge_cases Test_experiments Test_gen Test_graph Test_prng Test_search Test_sim Test_stats

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Gen Hashtbl Printf QCheck QCheck_alcotest Seq Sf_prng

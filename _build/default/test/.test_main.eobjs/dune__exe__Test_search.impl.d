@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Sf_gen Sf_graph Sf_prng Sf_search String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Sf_gen Sf_graph Sf_prng Sf_sim

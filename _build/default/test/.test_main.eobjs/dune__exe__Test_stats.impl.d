@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Filename Float Fun Gen List Printf QCheck QCheck_alcotest Sf_prng Sf_stats String Sys

@@ -1,0 +1,43 @@
+(* Integration tests: run every experiment of the registry in quick
+   mode and assert that all of its shape checks — the paper's
+   qualitative claims — pass end to end. *)
+
+let run_experiment (entry : Sf_experiments.Registry.entry) () =
+  let result = entry.Sf_experiments.Registry.run ~quick:true ~seed:20070615 in
+  Alcotest.(check string) "id matches registry" entry.Sf_experiments.Registry.id
+    result.Sf_experiments.Exp.id;
+  Alcotest.(check bool) "produces output" true
+    (String.length result.Sf_experiments.Exp.output > 0);
+  Alcotest.(check bool) "has at least one check" true
+    (result.Sf_experiments.Exp.checks <> []);
+  match Sf_experiments.Exp.failed_checks result with
+  | [] -> ()
+  | failed ->
+    Alcotest.fail
+      (Printf.sprintf "failed shape checks:\n - %s" (String.concat "\n - " failed))
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "find T1" true (Sf_experiments.Registry.find "t1" <> None);
+  Alcotest.(check bool) "unknown id" true (Sf_experiments.Registry.find "T99" = None);
+  Alcotest.(check int) "twenty-three experiments" 23 (List.length (Sf_experiments.Registry.ids ()))
+
+let test_experiment_reproducible () =
+  (* same seed, same output text *)
+  match Sf_experiments.Registry.find "T5" with
+  | None -> Alcotest.fail "T5 missing"
+  | Some e ->
+    let r1 = e.Sf_experiments.Registry.run ~quick:true ~seed:7 in
+    let r2 = e.Sf_experiments.Registry.run ~quick:true ~seed:7 in
+    Alcotest.(check string) "identical output" r1.Sf_experiments.Exp.output
+      r2.Sf_experiments.Exp.output
+
+let suite =
+  ("registry lookup", `Quick, test_registry_lookup)
+  :: ("experiment reproducible", `Quick, test_experiment_reproducible)
+  :: List.map
+       (fun (entry : Sf_experiments.Registry.entry) ->
+         ( Printf.sprintf "%s (%s)" entry.Sf_experiments.Registry.id
+             entry.Sf_experiments.Registry.title,
+           `Slow,
+           run_experiment entry ))
+       Sf_experiments.Registry.all

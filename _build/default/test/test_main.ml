@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "scalefree"
+    [
+      ("prng", Test_prng.suite);
+      ("graph", Test_graph.suite);
+      ("gen", Test_gen.suite);
+      ("search", Test_search.suite);
+      ("stats", Test_stats.suite);
+      ("core", Test_core.suite);
+      ("sim", Test_sim.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("experiments", Test_experiments.suite);
+    ]

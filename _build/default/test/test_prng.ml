@@ -1,0 +1,403 @@
+(* Tests for the sf_prng substrate: generator determinism and stream
+   splitting, then statistical sanity of every sampler. *)
+
+module Rng = Sf_prng.Rng
+module Dist = Sf_prng.Dist
+module Discrete = Sf_prng.Discrete
+module Shuffle = Sf_prng.Shuffle
+
+let check_close ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* --- Rng ------------------------------------------------------------ *)
+
+let test_determinism () =
+  let a = Rng.of_seed 1234 and b = Rng.of_seed 1234 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.of_seed 1 and b = Rng.of_seed 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 3)
+
+let test_copy_independent () =
+  let a = Rng.of_seed 7 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b);
+  ignore (Rng.int64 a);
+  (* advancing a further must not affect b *)
+  let a' = Rng.int64 a and b' = Rng.int64 b in
+  Alcotest.(check bool) "streams decoupled after copy" true (a' <> b')
+
+let test_split_independence () =
+  let parent = Rng.of_seed 99 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 child1 = Rng.int64 child2 then incr matches
+  done;
+  Alcotest.(check bool) "split children differ" true (!matches < 3)
+
+let test_split_at_pure () =
+  let parent = Rng.of_seed 5 in
+  let fp_before = Rng.state_fingerprint parent in
+  let c1 = Rng.split_at parent 3 in
+  let fp_after = Rng.state_fingerprint parent in
+  Alcotest.(check int64) "split_at leaves parent untouched" fp_before fp_after;
+  let c1' = Rng.split_at parent 3 in
+  Alcotest.(check int64) "split_at is deterministic" (Rng.int64 c1) (Rng.int64 c1');
+  let c2 = Rng.split_at parent 4 in
+  Alcotest.(check bool) "distinct indices give distinct streams" true
+    (Rng.int64 (Rng.copy c2) <> Rng.int64 (Rng.split_at parent 3))
+
+let test_int_bounds () =
+  let rng = Rng.of_seed 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.of_seed 12 in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. 10_000.) in
+      Alcotest.(check bool) (Printf.sprintf "bucket %d near uniform" i) true (dev < 500.))
+    counts
+
+let test_int_in_range () =
+  let rng = Rng.of_seed 13 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in_range rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done;
+  Alcotest.(check int) "degenerate range" 3 (Rng.int_in_range rng ~lo:3 ~hi:3)
+
+let test_unit_float () =
+  let rng = Rng.of_seed 14 in
+  let sum = ref 0. in
+  for _ = 1 to 10_000 do
+    let u = Rng.unit_float rng in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0. && u < 1.);
+    sum := !sum +. u
+  done;
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs ((!sum /. 10_000.) -. 0.5) < 0.02)
+
+let test_bernoulli () =
+  let rng = Rng.of_seed 15 in
+  let hits = ref 0 in
+  for _ = 1 to 20_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  Alcotest.(check bool) "p=0.3 frequency" true
+    (Float.abs ((float_of_int !hits /. 20_000.) -. 0.3) < 0.02);
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+
+let test_jump_changes_state () =
+  let rng = Rng.of_seed 16 in
+  let before = Rng.state_fingerprint rng in
+  Rng.jump rng;
+  Alcotest.(check bool) "jump moves the state" true (before <> Rng.state_fingerprint rng)
+
+(* --- Dist ----------------------------------------------------------- *)
+
+let sample_mean n f =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. f ()
+  done;
+  !acc /. float_of_int n
+
+let test_exponential_mean () =
+  let rng = Rng.of_seed 20 in
+  let mean = sample_mean 40_000 (fun () -> Dist.exponential rng ~rate:2.) in
+  Alcotest.(check bool) "mean 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_geometric_mean () =
+  let rng = Rng.of_seed 21 in
+  let p = 0.25 in
+  let mean = sample_mean 40_000 (fun () -> float_of_int (Dist.geometric rng ~p)) in
+  (* failures before success: mean (1-p)/p = 3 *)
+  Alcotest.(check bool) "geometric mean" true (Float.abs (mean -. 3.) < 0.1);
+  Alcotest.(check int) "p=1 always zero" 0 (Dist.geometric rng ~p:1.)
+
+let test_binomial_moments () =
+  let rng = Rng.of_seed 22 in
+  let mean = sample_mean 20_000 (fun () -> float_of_int (Dist.binomial rng ~n:40 ~p:0.3)) in
+  Alcotest.(check bool) "binomial mean np" true (Float.abs (mean -. 12.) < 0.25);
+  (* the sparse path *)
+  let mean2 = sample_mean 20_000 (fun () -> float_of_int (Dist.binomial rng ~n:1000 ~p:0.004)) in
+  Alcotest.(check bool) "sparse binomial mean" true (Float.abs (mean2 -. 4.) < 0.15);
+  Alcotest.(check int) "p=0" 0 (Dist.binomial rng ~n:10 ~p:0.);
+  Alcotest.(check int) "p=1" 10 (Dist.binomial rng ~n:10 ~p:1.)
+
+let test_poisson_mean () =
+  let rng = Rng.of_seed 23 in
+  let mean = sample_mean 20_000 (fun () -> float_of_int (Dist.poisson rng ~mean:7.5)) in
+  Alcotest.(check bool) "poisson mean" true (Float.abs (mean -. 7.5) < 0.15)
+
+let test_normal_moments () =
+  let rng = Rng.of_seed 24 in
+  let n = 40_000 in
+  let xs = Array.init n (fun _ -> Dist.normal rng ~mu:3. ~sigma:2.) in
+  let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. float_of_int n
+  in
+  Alcotest.(check bool) "normal mean" true (Float.abs (mean -. 3.) < 0.05);
+  Alcotest.(check bool) "normal variance" true (Float.abs (var -. 4.) < 0.15)
+
+let test_pareto_support () =
+  let rng = Rng.of_seed 25 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "pareto >= x_min" true (Dist.pareto rng ~alpha:2. ~x_min:1.5 >= 1.5)
+  done
+
+let test_zeta_tail () =
+  let rng = Rng.of_seed 26 in
+  (* P(X = 1) = 1/zeta(2) = 6/pi^2 ~ 0.6079 for alpha = 2 *)
+  let n = 40_000 in
+  let ones = ref 0 in
+  for _ = 1 to n do
+    let v = Dist.zeta rng ~alpha:2. in
+    Alcotest.(check bool) "zeta >= 1" true (v >= 1);
+    if v = 1 then incr ones
+  done;
+  let p1 = float_of_int !ones /. float_of_int n in
+  Alcotest.(check bool) "zeta P(1)" true (Float.abs (p1 -. 0.6079) < 0.02)
+
+let test_zipf_bounded () =
+  let rng = Rng.of_seed 27 in
+  for _ = 1 to 2000 do
+    let v = Dist.zipf_bounded rng ~alpha:2.5 ~n:50 in
+    Alcotest.(check bool) "zipf in [1,n]" true (v >= 1 && v <= 50)
+  done;
+  (* alpha <= 1 path (CDF inversion) *)
+  for _ = 1 to 500 do
+    let v = Dist.zipf_bounded rng ~alpha:0.8 ~n:30 in
+    Alcotest.(check bool) "zipf alpha<=1 in range" true (v >= 1 && v <= 30)
+  done
+
+let test_power_law_sequence () =
+  let rng = Rng.of_seed 28 in
+  let seq = Dist.discrete_power_law_sequence rng ~exponent:2.5 ~d_min:2 ~d_max:100 ~n:5000 in
+  Alcotest.(check int) "length" 5000 (Array.length seq);
+  Array.iter (fun d -> Alcotest.(check bool) "in support" true (d >= 2 && d <= 100)) seq;
+  (* ratio P(2)/P(4) should be near 2^2.5 *)
+  let c2 = Array.fold_left (fun acc d -> if d = 2 then acc + 1 else acc) 0 seq in
+  let c4 = Array.fold_left (fun acc d -> if d = 4 then acc + 1 else acc) 0 seq in
+  let ratio = float_of_int c2 /. float_of_int (max c4 1) in
+  Alcotest.(check bool) "power-law ratio" true (ratio > 3.5 && ratio < 8.5)
+
+(* --- Discrete -------------------------------------------------------- *)
+
+let test_alias_frequencies () =
+  let rng = Rng.of_seed 30 in
+  let sampler = Discrete.Alias.create [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "size" 4 (Discrete.Alias.size sampler);
+  let counts = Array.make 4 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Discrete.Alias.sample sampler rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = float_of_int (i + 1) /. 10. *. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "alias weight %d" i)
+        true
+        (Float.abs (float_of_int c -. expected) /. expected < 0.05))
+    counts
+
+let test_alias_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Alias.create: empty weights") (fun () ->
+      ignore (Discrete.Alias.create [||]));
+  Alcotest.check_raises "negative" (Invalid_argument "Alias.create: negative weight")
+    (fun () -> ignore (Discrete.Alias.create [| 1.; -1. |]));
+  Alcotest.check_raises "zero total" (Invalid_argument "Alias.create: zero total weight")
+    (fun () -> ignore (Discrete.Alias.create [| 0.; 0. |]))
+
+let test_fenwick_ops () =
+  let t = Discrete.Fenwick.of_array [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "length" 3 (Discrete.Fenwick.length t);
+  check_close "total" 6. (Discrete.Fenwick.total t);
+  check_close "get 1" 2. (Discrete.Fenwick.get t 1);
+  Discrete.Fenwick.add t 1 4.;
+  check_close "after add" 6. (Discrete.Fenwick.get t 1);
+  check_close "total after add" 10. (Discrete.Fenwick.total t);
+  let i = Discrete.Fenwick.push t 5. in
+  Alcotest.(check int) "push index" 3 i;
+  check_close "pushed weight" 5. (Discrete.Fenwick.get t 3)
+
+let test_fenwick_sampling () =
+  let rng = Rng.of_seed 31 in
+  let t = Discrete.Fenwick.of_array [| 0.; 5.; 0.; 15. |] in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 20_000 do
+    let i = Discrete.Fenwick.sample t rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight slot never drawn (0)" 0 counts.(0);
+  Alcotest.(check int) "zero-weight slot never drawn (2)" 0 counts.(2);
+  let frac = float_of_int counts.(3) /. 20_000. in
+  Alcotest.(check bool) "weights respected" true (Float.abs (frac -. 0.75) < 0.02)
+
+let test_fenwick_dynamic_growth () =
+  let rng = Rng.of_seed 32 in
+  let t = Discrete.Fenwick.create ~capacity:1 () in
+  for i = 0 to 99 do
+    ignore (Discrete.Fenwick.push t (float_of_int (i + 1)))
+  done;
+  Alcotest.(check int) "grew" 100 (Discrete.Fenwick.length t);
+  check_close "total 5050" 5050. (Discrete.Fenwick.total t);
+  for _ = 1 to 100 do
+    let i = Discrete.Fenwick.sample t rng in
+    Alcotest.(check bool) "sampled in range" true (i >= 0 && i < 100)
+  done
+
+(* --- Shuffle --------------------------------------------------------- *)
+
+let test_permutation_valid () =
+  let rng = Rng.of_seed 40 in
+  let p = Shuffle.permutation rng 50 in
+  let seen = Array.make 50 false in
+  Array.iter (fun v -> seen.(v) <- true) p;
+  Alcotest.(check bool) "bijection" true (Array.for_all Fun.id seen)
+
+let test_shuffle_uniformity () =
+  let rng = Rng.of_seed 41 in
+  (* all 6 permutations of 3 elements should be near 1/6 *)
+  let counts = Hashtbl.create 6 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let p = Shuffle.permutation rng 3 in
+    let key = Printf.sprintf "%d%d%d" p.(0) p.(1) p.(2) in
+    Hashtbl.replace counts key (1 + try Hashtbl.find counts key with Not_found -> 0)
+  done;
+  Alcotest.(check int) "six permutations seen" 6 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      Alcotest.(check bool) "near uniform" true
+        (Float.abs (float_of_int c -. 5000.) < 400.))
+    counts
+
+let test_sample_without_replacement () =
+  let rng = Rng.of_seed 42 in
+  for _ = 1 to 200 do
+    let s = Shuffle.sample_without_replacement rng ~k:10 ~n:30 in
+    Alcotest.(check int) "k items" 10 (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    for i = 1 to 9 do
+      Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+    done;
+    Array.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 30)) s
+  done;
+  Alcotest.(check int) "k = n" 5 (Array.length (Shuffle.sample_without_replacement rng ~k:5 ~n:5))
+
+let test_reservoir () =
+  let rng = Rng.of_seed 43 in
+  let sample = Shuffle.reservoir rng ~k:5 (Seq.init 100 Fun.id) in
+  Alcotest.(check int) "k items" 5 (Array.length sample);
+  let short = Shuffle.reservoir rng ~k:10 (Seq.init 3 Fun.id) in
+  Alcotest.(check int) "short input" 3 (Array.length short)
+
+let test_reservoir_uniform () =
+  let rng = Rng.of_seed 44 in
+  let hits = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let s = Shuffle.reservoir rng ~k:1 (Seq.init 10 Fun.id) in
+    hits.(s.(0)) <- hits.(s.(0)) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "element %d near 1/10" i)
+        true
+        (Float.abs (float_of_int c -. 2000.) < 250.))
+    hits
+
+(* --- qcheck properties ----------------------------------------------- *)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int always within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.of_seed seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_permutation_bijective =
+  QCheck.Test.make ~name:"Shuffle.permutation is bijective" ~count:200
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, n) ->
+      let p = Shuffle.permutation (Rng.of_seed seed) n in
+      let seen = Array.make n false in
+      Array.iter (fun v -> seen.(v) <- true) p;
+      Array.for_all Fun.id seen)
+
+let prop_fenwick_matches_reference =
+  QCheck.Test.make ~name:"Fenwick get/total match reference" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range 0. 10.))
+    (fun weights ->
+      let arr = Array.of_list weights in
+      let t = Discrete.Fenwick.of_array arr in
+      let total_ref = Array.fold_left ( +. ) 0. arr in
+      Float.abs (Discrete.Fenwick.total t -. total_ref) < 1e-9
+      && Array.for_all
+           (fun i -> Float.abs (Discrete.Fenwick.get t i -. arr.(i)) < 1e-9)
+           (Array.init (Array.length arr) Fun.id))
+
+let suite =
+  [
+    ("determinism", `Quick, test_determinism);
+    ("seed sensitivity", `Quick, test_seed_sensitivity);
+    ("copy independence", `Quick, test_copy_independent);
+    ("split independence", `Quick, test_split_independence);
+    ("split_at purity", `Quick, test_split_at_pure);
+    ("int bounds", `Quick, test_int_bounds);
+    ("int uniformity", `Quick, test_int_uniformity);
+    ("int_in_range", `Quick, test_int_in_range);
+    ("unit_float", `Quick, test_unit_float);
+    ("bernoulli", `Quick, test_bernoulli);
+    ("jump", `Quick, test_jump_changes_state);
+    ("exponential mean", `Quick, test_exponential_mean);
+    ("geometric mean", `Quick, test_geometric_mean);
+    ("binomial moments", `Quick, test_binomial_moments);
+    ("poisson mean", `Quick, test_poisson_mean);
+    ("normal moments", `Quick, test_normal_moments);
+    ("pareto support", `Quick, test_pareto_support);
+    ("zeta tail", `Quick, test_zeta_tail);
+    ("zipf bounded", `Quick, test_zipf_bounded);
+    ("power-law sequence", `Quick, test_power_law_sequence);
+    ("alias frequencies", `Quick, test_alias_frequencies);
+    ("alias validation", `Quick, test_alias_validation);
+    ("fenwick ops", `Quick, test_fenwick_ops);
+    ("fenwick sampling", `Quick, test_fenwick_sampling);
+    ("fenwick growth", `Quick, test_fenwick_dynamic_growth);
+    ("permutation valid", `Quick, test_permutation_valid);
+    ("shuffle uniformity", `Quick, test_shuffle_uniformity);
+    ("sample without replacement", `Quick, test_sample_without_replacement);
+    ("reservoir size", `Quick, test_reservoir);
+    ("reservoir uniform", `Quick, test_reservoir_uniform);
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_permutation_bijective;
+    QCheck_alcotest.to_alcotest prop_fenwick_matches_reference;
+  ]

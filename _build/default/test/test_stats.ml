@@ -1,0 +1,392 @@
+(* Tests for the statistics substrate: summaries, quantiles,
+   regression, histograms, power-law fitting and the hypothesis
+   tests. *)
+
+module Summary = Sf_stats.Summary
+module Quantile = Sf_stats.Quantile
+module Regression = Sf_stats.Regression
+module Histogram = Sf_stats.Histogram
+module Power_law = Sf_stats.Power_law
+module Tests = Sf_stats.Tests
+module Table = Sf_stats.Table
+module Rng = Sf_prng.Rng
+
+let checkf ?(eps = 1e-9) name expected actual = Alcotest.(check (float eps)) name expected actual
+
+(* --- Summary ----------------------------------------------------------- *)
+
+let test_summary_moments () =
+  let s = Summary.of_array [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.(check int) "count" 8 (Summary.count s);
+  checkf "mean" 5. (Summary.mean s);
+  checkf ~eps:1e-9 "variance (unbiased)" (32. /. 7.) (Summary.variance s);
+  checkf "min" 2. (Summary.min_value s);
+  checkf "max" 9. (Summary.max_value s);
+  checkf "total" 40. (Summary.total s)
+
+let test_summary_empty_and_single () =
+  let s = Summary.create () in
+  checkf "empty mean" 0. (Summary.mean s);
+  checkf "empty variance" 0. (Summary.variance s);
+  Summary.add s 42.;
+  checkf "single mean" 42. (Summary.mean s);
+  checkf "single variance" 0. (Summary.variance s)
+
+let test_summary_merge () =
+  let a = Summary.of_array [| 1.; 2.; 3. |] in
+  let b = Summary.of_array [| 10.; 20. |] in
+  let m = Summary.merge a b in
+  let direct = Summary.of_array [| 1.; 2.; 3.; 10.; 20. |] in
+  Alcotest.(check int) "merged count" 5 (Summary.count m);
+  checkf ~eps:1e-9 "merged mean" (Summary.mean direct) (Summary.mean m);
+  checkf ~eps:1e-9 "merged variance" (Summary.variance direct) (Summary.variance m);
+  checkf "merged min" 1. (Summary.min_value m);
+  checkf "merged max" 20. (Summary.max_value m)
+
+let test_summary_ci () =
+  let s = Summary.of_int_array (Array.make 100 5) in
+  checkf "zero-variance CI" 0. (Summary.ci95_halfwidth s);
+  let lo, hi = Summary.ci95 s in
+  checkf "ci around mean (lo)" 5. lo;
+  checkf "ci around mean (hi)" 5. hi
+
+(* --- Quantile ----------------------------------------------------------- *)
+
+let test_quantiles () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  checkf "median interpolates" 2.5 (Quantile.median xs);
+  checkf "q0 = min" 1. (Quantile.quantile xs ~q:0.);
+  checkf "q1 = max" 4. (Quantile.quantile xs ~q:1.);
+  checkf "q25" 1.75 (Quantile.quantile xs ~q:0.25);
+  checkf "iqr" 1.5 (Quantile.iqr xs);
+  Alcotest.check_raises "empty sample" (Invalid_argument "Quantile: empty sample") (fun () ->
+      ignore (Quantile.median [||]))
+
+let test_quantiles_unsorted_input () =
+  let xs = [| 9.; 1.; 5. |] in
+  checkf "median of unsorted" 5. (Quantile.median xs);
+  (* input untouched *)
+  Alcotest.(check (array (float 0.))) "input preserved" [| 9.; 1.; 5. |] xs
+
+(* --- Regression ----------------------------------------------------------- *)
+
+let test_linear_exact () =
+  let fit = Regression.linear [ (0., 1.); (1., 3.); (2., 5.); (3., 7.) ] in
+  checkf "slope" 2. fit.Regression.slope;
+  checkf "intercept" 1. fit.Regression.intercept;
+  checkf "r2 perfect" 1. fit.Regression.r_squared;
+  checkf "zero slope error on perfect fit" 0. fit.Regression.slope_std_error;
+  checkf "predict" 9. (Regression.predict fit 4.)
+
+let test_log_log_recovers_power () =
+  let points = List.init 20 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, 3. *. (x ** 1.7)))
+  in
+  let fit = Regression.log_log points in
+  checkf ~eps:1e-6 "exponent" 1.7 fit.Regression.slope;
+  checkf ~eps:1e-6 "constant" 3. (Regression.power_fit_constant fit);
+  checkf ~eps:1e-4 "power prediction" (3. *. (25. ** 1.7)) (Regression.predict_power fit 25.)
+
+let test_regression_validation () =
+  Alcotest.check_raises "one point" (Invalid_argument "Regression.linear: need at least two points")
+    (fun () -> ignore (Regression.linear [ (1., 1.) ]));
+  Alcotest.check_raises "degenerate x" (Invalid_argument "Regression.linear: all x values identical")
+    (fun () -> ignore (Regression.linear [ (1., 1.); (1., 2.) ]));
+  Alcotest.check_raises "nonpositive log input"
+    (Invalid_argument "Regression.log_log: coordinates must be positive") (fun () ->
+      ignore (Regression.log_log [ (0., 1.); (1., 2.) ]))
+
+let test_linear_noise_slope_error () =
+  let rng = Rng.of_seed 1 in
+  let points =
+    List.init 200 (fun i ->
+        let x = float_of_int i in
+        (x, (2. *. x) +. Sf_prng.Dist.normal rng ~mu:0. ~sigma:5.))
+  in
+  let fit = Regression.linear points in
+  Alcotest.(check bool) "slope near 2" true (Float.abs (fit.Regression.slope -. 2.) < 0.05);
+  Alcotest.(check bool) "slope error positive" true (fit.Regression.slope_std_error > 0.)
+
+(* --- Histogram ----------------------------------------------------------- *)
+
+let test_linear_histogram () =
+  let bins = Histogram.linear [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 |] ~bins:5 in
+  Alcotest.(check int) "bin count" 5 (List.length bins);
+  List.iter (fun b -> Alcotest.(check int) "two per bin" 2 b.Histogram.count) bins;
+  let total_mass =
+    List.fold_left (fun acc b -> acc +. (b.Histogram.density *. (b.Histogram.hi -. b.Histogram.lo))) 0. bins
+  in
+  checkf ~eps:1e-9 "densities integrate to 1" 1. total_mass
+
+let test_log_histogram () =
+  let bins = Histogram.logarithmic [| 1; 1; 2; 3; 4; 8; 9; 100 |] () in
+  let total = List.fold_left (fun acc b -> acc + b.Histogram.count) 0 bins in
+  Alcotest.(check int) "all positive samples binned" 8 total;
+  (* first bin [1,2) holds the two 1s *)
+  (match bins with
+  | first :: _ -> Alcotest.(check int) "first bin" 2 first.Histogram.count
+  | [] -> Alcotest.fail "bins expected");
+  Alcotest.check_raises "no positive values"
+    (Invalid_argument "Histogram.logarithmic: no positive values") (fun () ->
+      ignore (Histogram.logarithmic [| 0; 0 |] ()))
+
+let test_ccdf () =
+  let ccdf = Histogram.ccdf [| 1; 1; 2; 4 |] in
+  Alcotest.(check int) "distinct values" 3 (List.length ccdf);
+  let assoc = List.map (fun (x, p) -> (x, p)) ccdf in
+  checkf "P(X>=1)" 1. (List.assoc 1 assoc);
+  checkf "P(X>=2)" 0.5 (List.assoc 2 assoc);
+  checkf "P(X>=4)" 0.25 (List.assoc 4 assoc);
+  Alcotest.(check (list (pair int (float 0.)))) "empty sample" [] (Histogram.ccdf [||])
+
+let test_render_histogram () =
+  let bins = Histogram.linear [| 1; 2; 3 |] ~bins:3 in
+  let s = Histogram.render bins in
+  Alcotest.(check bool) "renders lines" true (String.length s > 0)
+
+(* --- Power law ----------------------------------------------------------- *)
+
+let test_hurwitz_zeta () =
+  (* zeta(2) = pi^2/6 *)
+  checkf ~eps:1e-8 "zeta(2,1)" (Float.pi *. Float.pi /. 6.) (Power_law.hurwitz_zeta ~alpha:2. ~q:1.);
+  (* Hurwitz shift identity: zeta(a,1) - 1 = zeta(a,2) *)
+  checkf ~eps:1e-8 "shift identity"
+    (Power_law.hurwitz_zeta ~alpha:3. ~q:1. -. 1.)
+    (Power_law.hurwitz_zeta ~alpha:3. ~q:2.);
+  Alcotest.check_raises "alpha <= 1" (Invalid_argument "Power_law.hurwitz_zeta: need alpha > 1")
+    (fun () -> ignore (Power_law.hurwitz_zeta ~alpha:1. ~q:1.))
+
+let test_mle_recovers_exponent () =
+  let rng = Rng.of_seed 2 in
+  let alpha = 2.5 in
+  let xs = Array.init 30_000 (fun _ -> Sf_prng.Dist.zeta rng ~alpha) in
+  let est = Power_law.mle_alpha xs ~x_min:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "MLE %.3f near %.1f" est alpha)
+    true
+    (Float.abs (est -. alpha) < 0.06)
+
+let test_fit_ks_small_for_true_model () =
+  let rng = Rng.of_seed 3 in
+  let xs = Array.init 20_000 (fun _ -> Sf_prng.Dist.zeta rng ~alpha:2.2) in
+  let fit = Power_law.fit xs ~x_min:1 in
+  Alcotest.(check bool) "ks small" true (fit.Power_law.ks < 0.02);
+  Alcotest.(check int) "tail size" 20_000 fit.Power_law.n_tail
+
+let test_fit_scan_picks_reasonable_cutoff () =
+  let rng = Rng.of_seed 4 in
+  (* contaminate the head: power law only above 5 *)
+  let xs =
+    Array.init 20_000 (fun i ->
+        if i mod 3 = 0 then 1 + (i mod 4)
+        else 4 + Sf_prng.Dist.zeta rng ~alpha:2.5)
+  in
+  let fit = Power_law.fit_scan xs () in
+  Alcotest.(check bool)
+    (Printf.sprintf "scan cutoff %d >= 2" fit.Power_law.x_min)
+    true
+    (fit.Power_law.x_min >= 2)
+
+(* --- hypothesis tests ------------------------------------------------------- *)
+
+let test_gamma_p_known_values () =
+  (* P(1, x) = 1 - e^-x *)
+  checkf ~eps:1e-10 "P(1,1)" (1. -. exp (-1.)) (Tests.gamma_p ~a:1. ~x:1.);
+  checkf ~eps:1e-10 "P(1,0)" 0. (Tests.gamma_p ~a:1. ~x:0.);
+  (* chi-square with 2 dof: CDF(x) = 1 - e^{-x/2} *)
+  checkf ~eps:1e-10 "chi2 cdf dof=2" (1. -. exp (-1.5)) (Tests.chi_square_cdf ~dof:2 3.)
+
+let test_chi_square_same_distribution () =
+  let rng = Rng.of_seed 5 in
+  let draw () =
+    List.init 2000 (fun _ -> string_of_int (Sf_prng.Rng.int rng 6))
+    |> List.fold_left
+         (fun acc k ->
+           let c = try List.assoc k acc with Not_found -> 0 in
+           (k, c + 1) :: List.remove_assoc k acc)
+         []
+  in
+  let _, _, p = Tests.chi_square_two_sample (draw ()) (draw ()) in
+  Alcotest.(check bool) (Printf.sprintf "same dist not rejected (p=%.3f)" p) true (p > 0.001)
+
+let test_chi_square_different_distribution () =
+  let s1 = [ ("a", 900); ("b", 100) ] in
+  let s2 = [ ("a", 500); ("b", 500) ] in
+  let stat, dof, p = Tests.chi_square_two_sample s1 s2 in
+  Alcotest.(check bool) "large statistic" true (stat > 100.);
+  Alcotest.(check int) "dof" 1 dof;
+  Alcotest.(check bool) "rejected" true (p < 1e-6)
+
+let test_total_variation () =
+  checkf "identical" 0. (Tests.total_variation [ ("a", 5); ("b", 5) ] [ ("a", 50); ("b", 50) ]);
+  checkf "disjoint" 1. (Tests.total_variation [ ("a", 10) ] [ ("b", 10) ]);
+  checkf "quarter" 0.25 (Tests.total_variation [ ("a", 10); ("b", 10) ] [ ("a", 5); ("b", 15) ])
+
+let test_ks_two_sample () =
+  let rng = Rng.of_seed 6 in
+  let xs = Array.init 2000 (fun _ -> Sf_prng.Dist.normal rng ~mu:0. ~sigma:1.) in
+  let ys = Array.init 2000 (fun _ -> Sf_prng.Dist.normal rng ~mu:0. ~sigma:1.) in
+  let _, p_same = Tests.ks_two_sample xs ys in
+  Alcotest.(check bool) (Printf.sprintf "same dist p=%.3f" p_same) true (p_same > 0.001);
+  let zs = Array.init 2000 (fun _ -> Sf_prng.Dist.normal rng ~mu:1. ~sigma:1.) in
+  let d, p_diff = Tests.ks_two_sample xs zs in
+  Alcotest.(check bool) "shifted dist detected" true (p_diff < 1e-6 && d > 0.2)
+
+(* --- Table --------------------------------------------------------------- *)
+
+let test_table_render () =
+  let s =
+    Table.render ~headers:[ "n"; "mean" ]
+      ~rows:[ [ "10"; "1.5" ]; [ "1000"; "42.0" ] ]
+      ()
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "has header + rule + rows" true (List.length lines >= 4);
+  (* all non-empty lines share a width *)
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths
+
+let test_table_formats () =
+  Alcotest.(check string) "float" "3.142" (Table.fmt_float ~digits:3 Float.pi);
+  Alcotest.(check string) "nan" "nan" (Table.fmt_float Float.nan);
+  Alcotest.(check string) "inf" "inf" (Table.fmt_float Float.infinity);
+  Alcotest.(check string) "grouped" "1_234_567" (Table.fmt_int_grouped 1234567);
+  Alcotest.(check string) "negative grouped" "-12_345" (Table.fmt_int_grouped (-12345));
+  Alcotest.(check string) "small" "999" (Table.fmt_int_grouped 999)
+
+(* --- Csv ----------------------------------------------------------------- *)
+
+let test_csv_roundtrip () =
+  let header = [ "a"; "b"; "c" ] in
+  let rows =
+    [
+      [ "1"; "plain"; "x" ];
+      [ "2"; "with,comma"; "y" ];
+      [ "3"; "with\"quote"; "z" ];
+      [ "4"; "multi\nline"; "w" ];
+    ]
+  in
+  let text = Sf_stats.Csv.to_string ~header ~rows in
+  Alcotest.(check (list (list string))) "roundtrip" (header :: rows) (Sf_stats.Csv.parse text)
+
+let test_csv_pads_short_rows () =
+  let text = Sf_stats.Csv.to_string ~header:[ "a"; "b"; "c" ] ~rows:[ [ "1" ] ] in
+  (match Sf_stats.Csv.parse text with
+  | [ _; row ] -> Alcotest.(check (list string)) "padded" [ "1"; ""; "" ] row
+  | _ -> Alcotest.fail "two rows expected");
+  Alcotest.(check string) "escape plain" "x" (Sf_stats.Csv.escape_field "x");
+  Alcotest.(check string) "escape comma" "\"a,b\"" (Sf_stats.Csv.escape_field "a,b")
+
+let test_csv_parse_errors () =
+  Alcotest.check_raises "unterminated quote" (Failure "Csv.parse: unterminated quoted field")
+    (fun () -> ignore (Sf_stats.Csv.parse "\"oops"))
+
+let test_csv_file_roundtrip () =
+  let path = Filename.temp_file "sfcsv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sf_stats.Csv.write ~path ~header:[ "x" ] ~rows:[ [ "1" ]; [ "2" ] ];
+      Alcotest.(check (list (list string)))
+        "file roundtrip"
+        [ [ "x" ]; [ "1" ]; [ "2" ] ]
+        (Sf_stats.Csv.parse_file ~path))
+
+(* --- Plot ---------------------------------------------------------------- *)
+
+let test_plot_renders_points () =
+  let s =
+    Sf_stats.Plot.render ~width:20 ~height:8
+      [ { Sf_stats.Plot.label = "a"; glyph = '*'; points = [ (0., 0.); (1., 1.) ] } ]
+  in
+  Alcotest.(check bool) "contains glyph" true (String.contains s '*');
+  Alcotest.(check bool) "contains legend" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  (* header + 8 canvas rows + axis + footer *)
+  Alcotest.(check bool) "expected line count" true (List.length lines >= 10)
+
+let test_plot_log_axes_drop_nonpositive () =
+  let s =
+    Sf_stats.Plot.render ~x_log:true ~y_log:true
+      [ { Sf_stats.Plot.label = "a"; glyph = '*'; points = [ (-1., 5.); (10., 100.) ] } ]
+  in
+  Alcotest.(check bool) "renders despite bad point" true (String.contains s '*')
+
+let test_plot_empty () =
+  Alcotest.(check string) "placeholder" "(no plottable points)\n" (Sf_stats.Plot.render []);
+  Alcotest.(check string) "all dropped"
+    "(no plottable points)\n"
+    (Sf_stats.Plot.render ~y_log:true
+       [ { Sf_stats.Plot.label = "a"; glyph = '*'; points = [ (1., -1.) ] } ])
+
+let test_plot_single_point () =
+  let s =
+    Sf_stats.Plot.render [ { Sf_stats.Plot.label = "p"; glyph = 'o'; points = [ (3., 3.) ] } ]
+  in
+  Alcotest.(check bool) "single point plotted" true (String.contains s 'o')
+
+(* --- qcheck ----------------------------------------------------------------- *)
+
+let prop_summary_matches_reference =
+  QCheck.Test.make ~name:"streaming summary equals direct computation" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let s = Summary.of_array arr in
+      let n = float_of_int (Array.length arr) in
+      let mean = Array.fold_left ( +. ) 0. arr /. n in
+      let var =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. arr /. (n -. 1.)
+      in
+      Float.abs (Summary.mean s -. mean) < 1e-6 *. (1. +. Float.abs mean)
+      && Float.abs (Summary.variance s -. var) < 1e-6 *. (1. +. var))
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantiles are monotone in q" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-50.) 50.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let q1 = Quantile.quantile arr ~q:0.2
+      and q2 = Quantile.quantile arr ~q:0.5
+      and q3 = Quantile.quantile arr ~q:0.9 in
+      q1 <= q2 && q2 <= q3)
+
+let suite =
+  [
+    ("summary moments", `Quick, test_summary_moments);
+    ("summary empty/single", `Quick, test_summary_empty_and_single);
+    ("summary merge", `Quick, test_summary_merge);
+    ("summary ci", `Quick, test_summary_ci);
+    ("quantiles", `Quick, test_quantiles);
+    ("quantiles unsorted", `Quick, test_quantiles_unsorted_input);
+    ("linear regression exact", `Quick, test_linear_exact);
+    ("log-log recovers power", `Quick, test_log_log_recovers_power);
+    ("regression validation", `Quick, test_regression_validation);
+    ("noisy slope", `Quick, test_linear_noise_slope_error);
+    ("linear histogram", `Quick, test_linear_histogram);
+    ("log histogram", `Quick, test_log_histogram);
+    ("ccdf", `Quick, test_ccdf);
+    ("render histogram", `Quick, test_render_histogram);
+    ("hurwitz zeta", `Quick, test_hurwitz_zeta);
+    ("power-law MLE", `Slow, test_mle_recovers_exponent);
+    ("power-law KS", `Quick, test_fit_ks_small_for_true_model);
+    ("power-law scan", `Quick, test_fit_scan_picks_reasonable_cutoff);
+    ("gamma_p known values", `Quick, test_gamma_p_known_values);
+    ("chi-square same", `Quick, test_chi_square_same_distribution);
+    ("chi-square different", `Quick, test_chi_square_different_distribution);
+    ("total variation", `Quick, test_total_variation);
+    ("ks two-sample", `Quick, test_ks_two_sample);
+    ("csv roundtrip", `Quick, test_csv_roundtrip);
+    ("csv padding and escaping", `Quick, test_csv_pads_short_rows);
+    ("csv parse errors", `Quick, test_csv_parse_errors);
+    ("csv file roundtrip", `Quick, test_csv_file_roundtrip);
+    ("plot renders", `Quick, test_plot_renders_points);
+    ("plot log axes", `Quick, test_plot_log_axes_drop_nonpositive);
+    ("plot empty", `Quick, test_plot_empty);
+    ("plot single point", `Quick, test_plot_single_point);
+    ("table render", `Quick, test_table_render);
+    ("table formats", `Quick, test_table_formats);
+    QCheck_alcotest.to_alcotest prop_summary_matches_reference;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+  ]
