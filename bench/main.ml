@@ -8,18 +8,36 @@
 
    Usage:
      main.exe                 full experiments + microbenchmarks
-     main.exe --quick         reduced sizes (CI-speed)
+     main.exe --quick         reduced sizes (CI-speed) + baseline shape check
      main.exe --only T1,T5    a subset of experiments
      main.exe --seed 42       change the master seed
      main.exe --no-micro      skip the microbenchmarks
-     main.exe --no-exp        skip the experiment tables *)
+     main.exe --no-exp        skip the experiment tables
+     main.exe --metrics F     write the obs.json run manifest to F
+     main.exe --no-obs        disable all instrumentation
+     main.exe --baseline F    metric-name baseline for --quick
+                              (default bench/baseline_quick.json) *)
+
+type options = {
+  quick : bool;
+  ids : string list option;
+  seed : int;
+  micro : bool;
+  experiments : bool;
+  metrics : string option;
+  obs : bool;
+  baseline : string;
+}
 
 let parse_args () =
   let quick = ref false
   and only = ref ""
   and seed = ref 20070615
   and micro = ref true
-  and experiments = ref true in
+  and experiments = ref true
+  and metrics = ref ""
+  and obs = ref true
+  and baseline = ref "bench/baseline_quick.json" in
   let spec =
     [
       ("--quick", Arg.Set quick, "reduced problem sizes");
@@ -27,6 +45,11 @@ let parse_args () =
       ("--seed", Arg.Set_int seed, "master seed (default 20070615)");
       ("--no-micro", Arg.Clear micro, "skip microbenchmarks");
       ("--no-exp", Arg.Clear experiments, "skip experiment tables");
+      ("--metrics", Arg.Set_string metrics, "write the obs.json run manifest to FILE");
+      ("--no-obs", Arg.Clear obs, "disable all instrumentation (no counters, no manifest)");
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "metric-name baseline diffed against in --quick mode" );
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) "bench/main.exe";
@@ -34,7 +57,16 @@ let parse_args () =
     if !only = "" then None
     else Some (String.split_on_char ',' !only |> List.map String.trim)
   in
-  (!quick, ids, !seed, !micro, !experiments)
+  {
+    quick = !quick;
+    ids;
+    seed = !seed;
+    micro = !micro;
+    experiments = !experiments;
+    metrics = (if !metrics = "" then None else Some !metrics);
+    obs = !obs;
+    baseline = !baseline;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: experiment tables                                           *)
@@ -257,17 +289,84 @@ let run_microbenchmarks ~quick =
          (List.map (fun (name, ns, r2) -> [ name; fmt_time ns; Printf.sprintf "%.3f" r2 ]) rows)
        ())
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: the run manifest and the baseline shape check               *)
+(* ------------------------------------------------------------------ *)
+
+let write_manifest opts path =
+  let extra =
+    [
+      ("timestamp_s", Sf_obs.Export.json_float (Unix.time ()));
+      ("quick", string_of_bool opts.quick);
+    ]
+  in
+  try
+    Sf_obs.Export.write_manifest ~extra ~tool:"bench/main.exe" ~seed:opts.seed
+      ~mode:(if opts.quick then "quick" else "full")
+      ~path ();
+    Printf.printf "wrote run manifest to %s (%d metrics, %d top-level spans)\n" path
+      (List.length (Sf_obs.Registry.names ()))
+      (List.length (Sf_obs.Span.roots ()))
+  with Sys_error msg ->
+    Printf.eprintf "cannot write run manifest: %s\n" msg;
+    exit 1
+
+(* Shape check only: every metric name of the committed baseline must
+   have been registered by this run — a missing name means an
+   instrumentation site was lost.  Values and timings are never
+   compared.  Extra names are fine (new instrumentation lands before
+   the baseline is refreshed). *)
+let baseline_shape_check path =
+  if not (Sys.file_exists path) then begin
+    Printf.printf "baseline %s not found; skipping the metric shape check\n" path;
+    true
+  end
+  else begin
+    let wanted = Sf_obs.Export.metric_names_of_file path in
+    let have = Sf_obs.Registry.names () in
+    let missing = List.filter (fun n -> not (List.mem n have)) wanted in
+    let extra = List.filter (fun n -> not (List.mem n wanted)) have in
+    if extra <> [] then
+      Printf.printf "baseline: %d new metric(s) not yet in %s: %s\n" (List.length extra) path
+        (String.concat ", " extra);
+    if missing = [] then begin
+      Printf.printf "baseline: all %d metric names from %s present.\n" (List.length wanted)
+        path;
+      true
+    end
+    else begin
+      Printf.printf "baseline: %d metric name(s) MISSING vs %s: %s\n" (List.length missing)
+        path (String.concat ", " missing);
+      false
+    end
+  end
+
 let () =
-  let quick, ids, seed, micro, experiments = parse_args () in
+  let opts = parse_args () in
+  if not opts.obs then Sf_obs.Registry.set_enabled false;
   Printf.printf "Non-searchability of random scale-free graphs - experiment harness\n";
-  Printf.printf "mode: %s, seed: %d\n" (if quick then "quick" else "full") seed;
-  if experiments && ids = None then begin
-    (* the statement-by-statement certificate heads the full run *)
-    let reports = Sf_core.Paper.verify ~seed in
-    print_newline ();
-    print_string (Sf_core.Paper.render reports);
-    if not (Sf_core.Paper.all_pass reports) then
-      print_endline "WARNING: some paper statements failed their self-check."
-  end;
-  if experiments then run_experiments ~quick ~seed ids;
-  if micro then run_microbenchmarks ~quick
+  Printf.printf "mode: %s, seed: %d%s\n"
+    (if opts.quick then "quick" else "full")
+    opts.seed
+    (if opts.obs then "" else ", observability off");
+  if opts.experiments && opts.ids = None then
+    Sf_obs.Span.with_span "verify" (fun () ->
+        (* the statement-by-statement certificate heads the full run *)
+        let reports = Sf_core.Paper.verify ~seed:opts.seed in
+        print_newline ();
+        print_string (Sf_core.Paper.render reports);
+        if not (Sf_core.Paper.all_pass reports) then
+          print_endline "WARNING: some paper statements failed their self-check.");
+  if opts.experiments then
+    Sf_obs.Span.with_span "experiments" (fun () ->
+        run_experiments ~quick:opts.quick ~seed:opts.seed opts.ids);
+  if opts.micro then Sf_obs.Span.with_span "microbench" (fun () -> run_microbenchmarks ~quick:opts.quick);
+  Option.iter (write_manifest opts) opts.metrics;
+  let shape_ok =
+    (* the check needs the full default metric surface: skip it when a
+       subset of the work ran, or when instrumentation is off *)
+    if opts.quick && opts.obs && opts.ids = None && opts.experiments && opts.micro then
+      baseline_shape_check opts.baseline
+    else true
+  in
+  if not shape_ok then exit 1

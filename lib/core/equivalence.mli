@@ -1,5 +1,10 @@
-(** Probabilistic vertex equivalence (Definitions 1–2) and the
-    verification of Lemma 2.
+(** Probabilistic vertex equivalence (Definitions 1–2 of PAPER.md)
+    and the verification of Lemma 2.
+
+    Lemma 2 is the engine of both theorems: conditional on the
+    containment event [E_{a,b}] ({!Events}), the window vertices of a
+    Móri tree are equivalent, so no searcher can tell them apart and
+    Lemma 1 ({!Lower_bound.lemma1}) applies.
 
     A vertex set [V] is equivalent conditional on an event [E] when,
     for every [σ ∈ S_V], the conditional laws of [G] and [σ(G)]

@@ -1,8 +1,13 @@
 (** The containment event [E_{a,b}] of Lemma 2 and its probability
-    (Lemma 3).
+    (Lemma 3 of PAPER.md).
 
     [E_{a,b} = ∩_{a < k ≤ b} { N_k ≤ a }]: every vertex arriving in
-    the window [(a, b]] attaches to the "old core" [[1, a]].
+    the window [(a, b]] attaches to the "old core" [[1, a]]. This is
+    the event conditioning the vertex equivalence of {!Equivalence},
+    and its probability is the [P(E)] factor of every
+    {!Lower_bound.lemma1} bound. At generation time, the
+    [gen.mori.father_age] histogram (doc/OBSERVABILITY.md) records
+    the attachment ages whose old-core bias makes the event likely.
 
     {b Exact closed form.} Conditional on the event's prefix
     [E_{a,k-1}], every one of the [k-2] edges existing when vertex [k]

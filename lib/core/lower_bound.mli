@@ -1,9 +1,14 @@
 (** Lemma 1 and the explicit (non-asymptotic) lower bounds of
-    Theorems 1 and 2.
+    Theorems 1 and 2 of Duchon–Eggemann–Hanusse, "Non-searchability of
+    random scale-free graphs" (PAPER.md).
 
-    Lemma 1: if [V] is equivalent conditional on [E], every weak
-    searcher for a target in [V] makes at least [|V|·P(E)/2] expected
-    requests. The theorem drivers instantiate [V] and [E]:
+    Lemma 1: if [V] is equivalent conditional on [E]
+    ({!Equivalence}), every weak searcher for a target in [V] makes at
+    least [|V|·P(E)/2] expected requests — "requests" being exactly
+    what the [search.requests] counter of the observability layer
+    measures at runtime (doc/OBSERVABILITY.md), so every bound
+    computed here can be confronted with a measured manifest. The
+    theorem drivers instantiate [V] and [E]:
 
     - {b Theorem 1} (Móri, merged or not): the window
       [V = [a+1, b]] with [a = n-1], [b = a + ⌊√(a-1)⌋] (scaled by

@@ -1,10 +1,17 @@
 (** The measurement harness confronting strategies with the lower
-    bounds: run (graph model × strategy × size) grids, aggregate
-    request counts with confidence intervals, fit scaling exponents.
+    bounds of PAPER.md: run (graph model × strategy × size) grids,
+    aggregate request counts with confidence intervals, fit scaling
+    exponents against Theorem 1's [Ω(√n)].
 
     Every trial owns a split random stream derived from the master
     seed and the trial index, so grids are bit-reproducible under any
-    execution order. *)
+    execution order.
+
+    Measurement rides on the instrumented runner: each trial advances
+    the [search.*] counters and the [search.requests_per_run]
+    histogram (doc/OBSERVABILITY.md), so a grid run with
+    [--metrics obs.json] leaves a manifest whose totals cross-check
+    the {!point} aggregates reported here. *)
 
 type point = {
   n : int; (** problem size (vertices of the searched graph) *)

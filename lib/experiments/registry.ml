@@ -4,7 +4,22 @@ type entry = {
   run : quick:bool -> seed:int -> Exp.result;
 }
 
+(* Observability: every experiment runs inside an "exp.<id>" span, so
+   a harness manifest carries per-experiment wall time without the
+   experiments knowing (doc/OBSERVABILITY.md). *)
+let obs_runs = Sf_obs.Registry.counter "exp.runs"
+
+let traced e =
+  {
+    e with
+    run =
+      (fun ~quick ~seed ->
+        if Sf_obs.Registry.enabled () then Sf_obs.Counter.incr obs_runs;
+        Sf_obs.Span.with_span ("exp." ^ e.id) (fun () -> e.run ~quick ~seed));
+  }
+
 let all =
+  List.map traced
   [
     {
       id = "T1";

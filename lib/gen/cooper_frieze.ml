@@ -2,6 +2,15 @@ module Rng = Sf_prng.Rng
 module Digraph = Sf_graph.Digraph
 module Vec = Sf_graph.Vec
 
+(* Observability: NEW/OLD step mix and degree-update costs
+   (doc/OBSERVABILITY.md). The out-degree histogram records how many
+   edges each step had to wire — the per-step degree-update cost. *)
+let obs_build_timer = Sf_obs.Registry.timer "gen.cf.build_s"
+let obs_new_steps = Sf_obs.Registry.counter "gen.cf.steps.new"
+let obs_old_steps = Sf_obs.Registry.counter "gen.cf.steps.old"
+let obs_edges = Sf_obs.Registry.counter "gen.cf.edges"
+let obs_step_out_degree = Sf_obs.Registry.histo "gen.cf.step_out_degree"
+
 type out_degree_dist = (int * float) list
 type preference = In_degree | Total_degree
 
@@ -76,6 +85,7 @@ let preferential_vertex st rng = Vec.get st.ends (Rng.int rng (Vec.length st.end
 let uniform_vertex st rng = 1 + Rng.int rng (Digraph.n_vertices st.g)
 
 let record_edge st ~src ~dst =
+  if Sf_obs.Registry.enabled () then Sf_obs.Counter.incr obs_edges;
   ignore (Digraph.add_edge st.g ~src ~dst);
   Vec.push st.ends dst;
   if st.preference = Total_degree then Vec.push st.ends src
@@ -90,10 +100,15 @@ let add_out_edges st rng ~src ~count ~pref_prob =
   done
 
 let step ?(on_new = fun _ _ -> ()) st rng params =
+  let obs = Sf_obs.Registry.enabled () in
   if Rng.bernoulli rng params.alpha then begin
     (* NEW: the new vertex is not a candidate endpoint of its own edges
        (endpoints are chosen among "existing" vertices first). *)
     let count = sample_dist rng params.q in
+    if obs then begin
+      Sf_obs.Counter.incr obs_new_steps;
+      Sf_obs.Histo.observe_int obs_step_out_degree count
+    end;
     let targets =
       List.init count (fun _ ->
           if Rng.bernoulli rng params.beta then preferential_vertex st rng
@@ -109,6 +124,10 @@ let step ?(on_new = fun _ _ -> ()) st rng params =
       else preferential_vertex st rng
     in
     let count = sample_dist rng params.p_dist in
+    if obs then begin
+      Sf_obs.Counter.incr obs_old_steps;
+      Sf_obs.Histo.observe_int obs_step_out_degree count
+    end;
     add_out_edges st rng ~src ~count ~pref_prob:params.gamma
   end
 
@@ -117,24 +136,29 @@ let check params =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Cooper_frieze: " ^ msg)
 
+let timed_build f =
+  if Sf_obs.Registry.enabled () then Sf_obs.Timer.time obs_build_timer f else f ()
+
 let generate rng params ~steps =
   check params;
   if steps < 0 then invalid_arg "Cooper_frieze.generate: steps must be non-negative";
-  let st = initial params.preference in
-  for _ = 1 to steps do
-    step st rng params
-  done;
-  st.g
+  timed_build (fun () ->
+      let st = initial params.preference in
+      for _ = 1 to steps do
+        step st rng params
+      done;
+      st.g)
 
 let generate_n_vertices rng params ~n =
   check params;
   if n < 1 then invalid_arg "Cooper_frieze.generate_n_vertices: need n >= 1";
   if params.alpha <= 0. then invalid_arg "Cooper_frieze.generate_n_vertices: alpha must be positive";
-  let st = initial params.preference in
-  while Digraph.n_vertices st.g < n do
-    step st rng params
-  done;
-  st.g
+  timed_build (fun () ->
+      let st = initial params.preference in
+      while Digraph.n_vertices st.g < n do
+        step st rng params
+      done;
+      st.g)
 
 let generate_n_vertices_traced rng params ~n =
   check params;

@@ -2,6 +2,15 @@ module Rng = Sf_prng.Rng
 module Digraph = Sf_graph.Digraph
 module Vec = Sf_graph.Vec
 
+(* Observability: attachment-step accounting (doc/OBSERVABILITY.md).
+   The father-age histogram records which vertex each arrival attached
+   to — the measured face of the age-degree law behind Lemma 2. *)
+let obs_build_timer = Sf_obs.Registry.timer "gen.mori.build_s"
+let obs_vertices = Sf_obs.Registry.counter "gen.mori.vertices"
+let obs_pref_steps = Sf_obs.Registry.counter "gen.mori.steps.pref"
+let obs_unif_steps = Sf_obs.Registry.counter "gen.mori.steps.unif"
+let obs_father_age = Sf_obs.Registry.histo "gen.mori.father_age"
+
 let check_params ~p ~t =
   if t < 2 then invalid_arg "Mori: need t >= 2";
   if p <= 0. || p > 1. then invalid_arg "Mori: need 0 < p <= 1"
@@ -13,6 +22,8 @@ let check_params ~p ~t =
    event prefix every entry is already <= a, so the restricted
    preferential branch needs no filtering. *)
 let grow rng ~p ~t ~restrict =
+  let obs = Sf_obs.Registry.enabled () in
+  if obs then Sf_obs.Timer.start obs_build_timer;
   let g = Digraph.create ~expected_vertices:t () in
   Digraph.add_vertices g 2;
   ignore (Digraph.add_edge g ~src:2 ~dst:1);
@@ -20,25 +31,36 @@ let grow rng ~p ~t ~restrict =
   Vec.push dsts 1;
   for k = 3 to t do
     let edges_so_far = k - 2 in
+    let pick_pref () =
+      if obs then Sf_obs.Counter.incr obs_pref_steps;
+      Vec.get dsts (Rng.int rng (Vec.length dsts))
+    in
+    let pick_unif bound =
+      if obs then Sf_obs.Counter.incr obs_unif_steps;
+      1 + Rng.int rng bound
+    in
     let father =
       match restrict k with
       | None ->
         let pref_mass = p *. float_of_int edges_so_far in
         let unif_mass = (1. -. p) *. float_of_int (k - 1) in
-        if Rng.unit_float rng *. (pref_mass +. unif_mass) < pref_mass then
-          Vec.get dsts (Rng.int rng (Vec.length dsts))
-        else 1 + Rng.int rng (k - 1)
+        if Rng.unit_float rng *. (pref_mass +. unif_mass) < pref_mass then pick_pref ()
+        else pick_unif (k - 1)
       | Some a ->
         let pref_mass = p *. float_of_int edges_so_far in
         let unif_mass = (1. -. p) *. float_of_int a in
-        if Rng.unit_float rng *. (pref_mass +. unif_mass) < pref_mass then
-          Vec.get dsts (Rng.int rng (Vec.length dsts))
-        else 1 + Rng.int rng a
+        if Rng.unit_float rng *. (pref_mass +. unif_mass) < pref_mass then pick_pref ()
+        else pick_unif a
     in
     let v = Digraph.add_vertex g in
     ignore (Digraph.add_edge g ~src:v ~dst:father);
+    if obs then Sf_obs.Histo.observe_int obs_father_age father;
     Vec.push dsts father
   done;
+  if obs then begin
+    Sf_obs.Counter.add obs_vertices t;
+    Sf_obs.Timer.stop obs_build_timer
+  end;
   g
 
 let tree rng ~p ~t =

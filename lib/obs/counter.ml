@@ -1,0 +1,11 @@
+type t = { mutable n : int }
+
+let create () = { n = 0 }
+let incr t = t.n <- t.n + 1
+
+let add t d =
+  if d < 0 then invalid_arg "Counter.add: negative delta (counters are monotone)";
+  t.n <- t.n + d
+
+let value t = t.n
+let reset t = t.n <- 0

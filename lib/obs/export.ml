@@ -1,0 +1,204 @@
+let buf_add = Buffer.add_string
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> buf_add b "\\\""
+      | '\\' -> buf_add b "\\\\"
+      | '\n' -> buf_add b "\\n"
+      | '\r' -> buf_add b "\\r"
+      | '\t' -> buf_add b "\\t"
+      | c when Char.code c < 0x20 -> buf_add b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+let metric_json = function
+  | Registry.Counter c -> Printf.sprintf {|{"kind":"counter","value":%d}|} (Counter.value c)
+  | Registry.Timer t ->
+    Printf.sprintf {|{"kind":"timer","count":%d,"total_s":%s,"mean_s":%s}|} (Timer.count t)
+      (json_float (Timer.total_s t))
+      (json_float (Timer.mean_s t))
+  | Registry.Gauge g ->
+    Printf.sprintf {|{"kind":"gauge","value":%s,"set":%b}|}
+      (json_float (Registry.gauge_value g))
+      (Registry.gauge_set g)
+  | Registry.Histo h ->
+    let buckets =
+      Histo.buckets h
+      |> List.map (fun (ub, n) -> Printf.sprintf "[%s,%d]" (json_float ub) n)
+      |> String.concat ","
+    in
+    let q p = if Histo.count h = 0 then "null" else json_float (Histo.quantile h p) in
+    Printf.sprintf
+      {|{"kind":"histogram","count":%d,"sum":%s,"min":%s,"max":%s,"p50":%s,"p90":%s,"p99":%s,"buckets":[%s]}|}
+      (Histo.count h)
+      (json_float (Histo.sum h))
+      (json_float (Histo.min_value h))
+      (json_float (Histo.max_value h))
+      (q 0.5) (q 0.9) (q 0.99) buckets
+
+let metrics_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, m) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add b (json_string name);
+      Buffer.add_char b ':';
+      buf_add b (metric_json m))
+    (Registry.all ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let metrics_csv () =
+  let b = Buffer.create 1024 in
+  buf_add b "name,kind,value,count,mean\n";
+  List.iter
+    (fun (name, m) ->
+      let kind, value, count, mean =
+        match m with
+        | Registry.Counter c -> ("counter", string_of_int (Counter.value c), "", "")
+        | Registry.Timer t ->
+          ( "timer",
+            Printf.sprintf "%.9f" (Timer.total_s t),
+            string_of_int (Timer.count t),
+            Printf.sprintf "%.9f" (Timer.mean_s t) )
+        | Registry.Gauge g ->
+          ("gauge", Printf.sprintf "%.9g" (Registry.gauge_value g), "", "")
+        | Registry.Histo h ->
+          ( "histogram",
+            Printf.sprintf "%.9g" (Histo.sum h),
+            string_of_int (Histo.count h),
+            Printf.sprintf "%.9g" (Histo.mean h) )
+      in
+      buf_add b
+        (Printf.sprintf "%s,%s,%s,%s,%s\n" (csv_field name) kind value count mean))
+    (Registry.all ());
+  Buffer.contents b
+
+let rec span_json s =
+  Printf.sprintf {|{"name":%s,"seconds":%s,"children":[%s]}|}
+    (json_string (Span.name s))
+    (json_float (Span.duration_s s))
+    (String.concat "," (List.map span_json (Span.children s)))
+
+let spans_json () = "[" ^ String.concat "," (List.map span_json (Span.roots ())) ^ "]"
+
+let manifest_json ?(extra = []) ~tool ~seed ~mode () =
+  let b = Buffer.create 4096 in
+  buf_add b "{\n";
+  buf_add b (Printf.sprintf {|  "tool": %s,|} (json_string tool));
+  buf_add b "\n";
+  buf_add b (Printf.sprintf {|  "seed": %d,|} seed);
+  buf_add b "\n";
+  buf_add b (Printf.sprintf {|  "mode": %s,|} (json_string mode));
+  buf_add b "\n";
+  buf_add b (Printf.sprintf {|  "ocaml": %s,|} (json_string Sys.ocaml_version));
+  buf_add b "\n";
+  List.iter
+    (fun (k, raw_json) -> buf_add b (Printf.sprintf "  %s: %s,\n" (json_string k) raw_json))
+    extra;
+  buf_add b (Printf.sprintf {|  "spans": %s,|} (spans_json ()));
+  buf_add b "\n";
+  buf_add b (Printf.sprintf {|  "metrics": %s|} (metrics_json ()));
+  buf_add b "\n}\n";
+  Buffer.contents b
+
+let write_manifest ?extra ~tool ~seed ~mode ~path () =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (manifest_json ?extra ~tool ~seed ~mode ()))
+
+(* --- reading manifests back (the baseline shape check) ------------- *)
+
+(* Scan a JSON document for the keys of the object bound to "metrics":
+   after the opening brace of that object, every string at nesting
+   depth 1 that is followed by ':' is a metric name.  A full parser is
+   not needed — manifests are machine-written by this module. *)
+
+let scan_string src i =
+  (* src.[i] = '"'; returns (contents, index after closing quote) *)
+  let b = Buffer.create 16 in
+  let n = String.length src in
+  let rec go i =
+    if i >= n then (Buffer.contents b, i)
+    else
+      match src.[i] with
+      | '"' -> (Buffer.contents b, i + 1)
+      | '\\' when i + 1 < n ->
+        (match src.[i + 1] with
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'u' -> Buffer.add_char b '?' (* names never contain escapes *)
+        | c -> Buffer.add_char b c);
+        go (i + 2)
+      | c ->
+        Buffer.add_char b c;
+        go (i + 1)
+  in
+  go (i + 1)
+
+let next_nonspace src i =
+  let n = String.length src in
+  let rec go i = if i < n && (src.[i] = ' ' || src.[i] = '\n' || src.[i] = '\t' || src.[i] = '\r') then go (i + 1) else i in
+  go i
+
+let find_metrics_object src =
+  (* index of the '{' opening the "metrics" object, if any *)
+  let n = String.length src in
+  let rec go i =
+    if i >= n then None
+    else if src.[i] = '"' then begin
+      let key, j = scan_string src i in
+      let j' = next_nonspace src j in
+      if key = "metrics" && j' < n && src.[j'] = ':' then begin
+        let k = next_nonspace src (j' + 1) in
+        if k < n && src.[k] = '{' then Some k else None
+      end
+      else go j
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let metric_names_of_manifest src =
+  match find_metrics_object src with
+  | None -> []
+  | Some start ->
+    let n = String.length src in
+    let rec go i depth acc =
+      if i >= n || depth = 0 then List.rev acc
+      else
+        match src.[i] with
+        | '{' | '[' -> go (i + 1) (depth + 1) acc
+        | '}' | ']' -> go (i + 1) (depth - 1) acc
+        | '"' ->
+          let s, j = scan_string src i in
+          let j' = next_nonspace src j in
+          if depth = 1 && j' < n && src.[j'] = ':' then go j' depth (s :: acc)
+          else go j depth acc
+        | _ -> go (i + 1) depth acc
+    in
+    go (start + 1) 1 []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let metric_names_of_file path = metric_names_of_manifest (read_file path)

@@ -1,0 +1,65 @@
+(** Exporters: the registry and span forest rendered as JSON and CSV,
+    and the per-run manifest ([obs.json]).
+
+    A manifest is the machine-readable record of one run — seed, mode,
+    wall time per phase (the {!Span} forest), and the value of every
+    registered metric — written next to a run's human-readable tables
+    so that regressions can be tracked across commits by diffing
+    manifests. [bench/main.exe --quick] does exactly that against the
+    committed [bench/baseline_quick.json] (names only, no timing
+    assertions). The schema is documented in [doc/OBSERVABILITY.md].
+
+    JSON is rendered and re-scanned by hand: manifests are flat,
+    machine-written documents, and this library must not grow a
+    dependency for them. *)
+
+(** {1 Rendering} *)
+
+val metrics_json : unit -> string
+(** The registry as one JSON object: name → [{"kind": ..., ...}].
+    Counters carry [value]; timers [count], [total_s], [mean_s];
+    gauges [value], [set]; histograms [count], [sum], [min], [max],
+    [p50]/[p90]/[p99] and the non-empty [buckets] as
+    [[upper_bound, count]] pairs. *)
+
+val metrics_csv : unit -> string
+(** The registry as CSV (header [name,kind,value,count,mean]); the
+    [value] column is the counter value, timer total seconds,
+    gauge value, or histogram sum. *)
+
+val spans_json : unit -> string
+(** The completed span forest as a JSON array of
+    [{"name", "seconds", "children"}] trees. *)
+
+val manifest_json :
+  ?extra:(string * string) list -> tool:string -> seed:int -> mode:string -> unit -> string
+(** The full run manifest. [extra] entries are [(key, raw_json)]
+    pairs spliced verbatim into the top-level object — the caller is
+    responsible for their JSON validity. *)
+
+val write_manifest :
+  ?extra:(string * string) list ->
+  tool:string ->
+  seed:int ->
+  mode:string ->
+  path:string ->
+  unit ->
+  unit
+(** {!manifest_json} written to [path] (truncating). *)
+
+val json_string : string -> string
+(** Escape and quote one string — for building [extra] values. *)
+
+val json_float : float -> string
+(** A JSON number, or [null] for non-finite values. *)
+
+(** {1 Reading manifests back} *)
+
+val metric_names_of_manifest : string -> string list
+(** The keys of the ["metrics"] object of a manifest document, in
+    document order; [[]] if the document has none. Tolerant scanner,
+    not a validator — intended for manifests this module wrote. *)
+
+val metric_names_of_file : string -> string list
+(** {!metric_names_of_manifest} over a file's contents.
+    @raise Sys_error if the file cannot be read. *)

@@ -1,0 +1,100 @@
+type metric =
+  | Counter of Counter.t
+  | Timer of Timer.t
+  | Histo of Histo.t
+  | Gauge of gauge
+
+and gauge = { mutable g_value : float; mutable g_set : bool }
+
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+let insertion_order : string list ref = ref []
+
+let enabled_flag = ref true
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Timer _ -> "timer"
+  | Histo _ -> "histogram"
+  | Gauge _ -> "gauge"
+
+let check_name name =
+  if name = "" then invalid_arg "Registry: empty metric name";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '/' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Registry: bad character %C in metric name %S" c name))
+    name
+
+let find_or_add name ~make ~cast =
+  check_name name;
+  match Hashtbl.find_opt table name with
+  | Some m -> (
+    match cast m with
+    | Some x -> x
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Registry: metric %S already registered as a %s" name (kind_name m)))
+  | None ->
+    let m, x = make () in
+    Hashtbl.replace table name m;
+    insertion_order := name :: !insertion_order;
+    x
+
+let counter name =
+  find_or_add name
+    ~make:(fun () ->
+      let c = Counter.create () in
+      (Counter c, c))
+    ~cast:(function Counter c -> Some c | _ -> None)
+
+let timer name =
+  find_or_add name
+    ~make:(fun () ->
+      let t = Timer.create () in
+      (Timer t, t))
+    ~cast:(function Timer t -> Some t | _ -> None)
+
+let histo ?base name =
+  find_or_add name
+    ~make:(fun () ->
+      let h = Histo.create ?base () in
+      (Histo h, h))
+    ~cast:(function Histo h -> Some h | _ -> None)
+
+let gauge name =
+  find_or_add name
+    ~make:(fun () ->
+      let g = { g_value = 0.; g_set = false } in
+      (Gauge g, g))
+    ~cast:(function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v =
+  g.g_value <- v;
+  g.g_set <- true
+
+let gauge_value g = g.g_value
+let gauge_set g = g.g_set
+
+let names () = List.sort compare !insertion_order
+let find name = Hashtbl.find_opt table name
+
+let all () = List.map (fun name -> (name, Hashtbl.find table name)) (names ())
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> Counter.reset c
+      | Timer t -> Timer.reset t
+      | Histo h -> Histo.reset h
+      | Gauge g ->
+        g.g_value <- 0.;
+        g.g_set <- false)
+    table
+
+let clear () =
+  Hashtbl.reset table;
+  insertion_order := []

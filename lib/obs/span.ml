@@ -1,0 +1,43 @@
+type t = { span_name : string; duration : float; kids : t list }
+
+(* open spans, innermost first; completed children accumulate in
+   reverse completion order *)
+type open_span = { o_name : string; o_start : float; mutable o_kids : t list }
+
+let stack : open_span list ref = ref []
+let completed_roots : t list ref = ref []
+
+let enter name =
+  stack := { o_name = name; o_start = Timer.now_s (); o_kids = [] } :: !stack
+
+let leave () =
+  match !stack with
+  | [] -> ()
+  | o :: rest ->
+    stack := rest;
+    let span =
+      {
+        span_name = o.o_name;
+        duration = Float.max 0. (Timer.now_s () -. o.o_start);
+        kids = List.rev o.o_kids;
+      }
+    in
+    (match rest with
+    | [] -> completed_roots := span :: !completed_roots
+    | parent :: _ -> parent.o_kids <- span :: parent.o_kids)
+
+let with_span name f =
+  if not (Registry.enabled ()) then f ()
+  else begin
+    enter name;
+    Fun.protect ~finally:leave f
+  end
+
+let roots () = List.rev !completed_roots
+let name t = t.span_name
+let duration_s t = t.duration
+let children t = t.kids
+
+let reset () =
+  stack := [];
+  completed_roots := []

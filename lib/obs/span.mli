@@ -1,0 +1,44 @@
+(** Nestable spans: the phase structure of a run, as a forest of
+    timed intervals.
+
+    A span is opened around a phase ("experiments", "exp.T1",
+    "search.trial") and closed when the phase ends; spans opened while
+    another is live become its children, so a completed run leaves a
+    forest mirroring the call structure — the "wall/CPU time per
+    phase" section of the run manifest ({!Export.manifest_json}).
+
+    State is a single implicit stack per process (the stack of the
+    currently-open spans), matching the single-threaded harness. Use
+    {!with_span} wherever possible; it is exception-safe. When the
+    registry is disabled ({!Registry.set_enabled}[ false]),
+    {!with_span} runs its body without touching the clock or
+    allocating. *)
+
+type t
+(** A {e completed} span. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a fresh span; the span is
+    closed (and attached to its parent, or to the root list) even if
+    [f] raises. *)
+
+val enter : string -> unit
+(** Open a span by hand. Every [enter] must be matched by a {!leave};
+    prefer {!with_span}. *)
+
+val leave : unit -> unit
+(** Close the innermost open span. Ignored when no span is open. *)
+
+(** {1 Reading the forest} *)
+
+val roots : unit -> t list
+(** Completed top-level spans, in completion order. Spans still open
+    are not included. *)
+
+val name : t -> string
+val duration_s : t -> float
+val children : t -> t list
+(** Completed children in completion order. *)
+
+val reset : unit -> unit
+(** Drop all completed spans and abandon any open ones. *)

@@ -1,0 +1,35 @@
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+let now_s () = !clock ()
+
+type t = { mutable total : float; mutable count : int; mutable started : float option }
+
+let create () = { total = 0.; count = 0; started = None }
+
+let record t dt =
+  (* clock steps under gettimeofday can make dt negative; clamp so the
+     accumulator stays monotone *)
+  t.total <- t.total +. Float.max 0. dt;
+  t.count <- t.count + 1
+
+let time t f =
+  let t0 = now_s () in
+  Fun.protect ~finally:(fun () -> record t (now_s () -. t0)) f
+
+let start t = t.started <- Some (now_s ())
+
+let stop t =
+  match t.started with
+  | None -> ()
+  | Some t0 ->
+    t.started <- None;
+    record t (now_s () -. t0)
+
+let count t = t.count
+let total_s t = t.total
+let mean_s t = if t.count = 0 then 0. else t.total /. float_of_int t.count
+
+let reset t =
+  t.total <- 0.;
+  t.count <- 0;
+  t.started <- None

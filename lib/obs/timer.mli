@@ -1,0 +1,53 @@
+(** Accumulating wall-clock timers for phase and hot-path costs.
+
+    A timer accumulates the total elapsed seconds and the number of
+    timed intervals, so [total_s / count] is a mean cost per
+    operation — the quantity the ROADMAP's "as fast as the hardware
+    allows" goal is tracked against.
+
+    {b Clock.} The default clock is [Unix.gettimeofday]. The image
+    this library targets has no monotonic-clock binding in the
+    standard library, so a harness that links one (e.g. bechamel's
+    [clock_gettime(CLOCK_MONOTONIC)] stub) should inject it with
+    {!set_clock}; everything downstream — spans, manifests — then
+    uses it. Timings are measurements, never test assertions, so a
+    rare NTP step under the default clock distorts one sample, not
+    correctness. *)
+
+type t
+
+val create : unit -> t
+(** A fresh timer with no recorded intervals. Prefer
+    {!Registry.timer} for metrics that should appear in manifests. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** [time t f] runs [f ()], adding its elapsed time to [t] (one
+    interval), even if [f] raises. *)
+
+val start : t -> unit
+(** Open an interval by hand (for code that cannot be wrapped in a
+    closure). A second [start] before {!stop} restarts the interval. *)
+
+val stop : t -> unit
+(** Close the interval opened by {!start} and accumulate it. A [stop]
+    without a pending [start] is ignored. *)
+
+val count : t -> int
+(** Number of accumulated intervals. *)
+
+val total_s : t -> float
+(** Total accumulated seconds. *)
+
+val mean_s : t -> float
+(** [total_s / count]; [0.] when nothing was recorded. *)
+
+val reset : t -> unit
+
+(** {1 Clock injection} *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the clock (seconds as a float; only differences are
+    used). Affects all timers and {!Span}s. *)
+
+val now_s : unit -> float
+(** Read the current clock. *)

@@ -2,6 +2,15 @@ module Rng = Sf_prng.Rng
 module Ugraph = Sf_graph.Ugraph
 module Vec = Sf_graph.Vec
 
+(* Observability: the oracle is where the paper's complexity measure
+   is paid, so the request counters live here (see
+   doc/OBSERVABILITY.md; search.requests is Lemma 1's count). *)
+let obs_requests = Sf_obs.Registry.counter "search.requests"
+let obs_requests_weak = Sf_obs.Registry.counter "search.requests.weak"
+let obs_requests_strong = Sf_obs.Registry.counter "search.requests.strong"
+let obs_discoveries = Sf_obs.Registry.counter "search.discoveries"
+let obs_oracles = Sf_obs.Registry.counter "search.oracles"
+
 type vertex = int
 type handle = int
 type model = Weak | Strong
@@ -48,6 +57,7 @@ let realize t pub =
 
 let discover ?(via = 0) t v =
   if not t.discovered.(v - 1) then begin
+    if Sf_obs.Registry.enabled () then Sf_obs.Counter.incr obs_discoveries;
     t.discovered.(v - 1) <- true;
     t.parent.(v - 1) <- via;
     Vec.push t.order v;
@@ -88,6 +98,7 @@ let start ?(obfuscate = true) ~rng model g ~source ~target =
       neighbor_at = None;
     }
   in
+  if Sf_obs.Registry.enabled () then Sf_obs.Counter.incr obs_oracles;
   discover t source;
   t
 
@@ -123,6 +134,10 @@ let request_weak t ~owner h =
   check_discovered t owner "request_weak";
   let real = realize t h in
   let far = Ugraph.other_endpoint t.g ~edge_id:real owner in
+  if Sf_obs.Registry.enabled () then begin
+    Sf_obs.Counter.incr obs_requests;
+    Sf_obs.Counter.incr obs_requests_weak
+  end;
   t.request_count <- t.request_count + 1;
   Hashtbl.replace t.requested h ();
   discover ~via:owner t far;
@@ -131,6 +146,10 @@ let request_weak t ~owner h =
 let request_strong t v =
   if t.model <> Strong then invalid_arg "Oracle.request_strong: not a strong-model instance";
   check_discovered t v "request_strong";
+  if Sf_obs.Registry.enabled () then begin
+    Sf_obs.Counter.incr obs_requests;
+    Sf_obs.Counter.incr obs_requests_strong
+  end;
   t.request_count <- t.request_count + 1;
   t.explored.(v - 1) <- true;
   let seen = Hashtbl.create 8 in

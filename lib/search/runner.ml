@@ -1,3 +1,18 @@
+(* Observability: per-run aggregates; per-request counting lives in
+   Oracle. Strategy names may contain characters the metric grammar
+   rejects ('+', parentheses), so they are sanitised. *)
+let obs_runs = Sf_obs.Registry.counter "search.runs"
+let obs_gave_up = Sf_obs.Registry.counter "search.gave_up"
+let obs_budget_exhausted = Sf_obs.Registry.counter "search.budget_exhausted"
+let obs_run_timer = Sf_obs.Registry.timer "search.run_s"
+let obs_requests_per_run = Sf_obs.Registry.histo "search.requests_per_run"
+
+let metric_component s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c | _ -> '_')
+    s
+
 type outcome = {
   strategy : string;
   n_vertices : int;
@@ -49,6 +64,9 @@ let run_general ?budget ?(stop_at = At_target) ~rng ?on_event (strategy : Strate
           discovered_total = after;
         }
   in
+  let requests_before = Oracle.requests oracle in
+  let obs = Sf_obs.Registry.enabled () in
+  if obs then Sf_obs.Timer.start obs_run_timer;
   while !continue && (not (stopped stop_at oracle)) && Oracle.requests oracle < budget do
     match stepper () with
     | Strategy.Request_edge (owner, h) ->
@@ -63,6 +81,19 @@ let run_general ?budget ?(stop_at = At_target) ~rng ?on_event (strategy : Strate
       gave_up := true;
       continue := false
   done;
+  if obs then begin
+    Sf_obs.Timer.stop obs_run_timer;
+    let paid = Oracle.requests oracle - requests_before in
+    Sf_obs.Counter.incr obs_runs;
+    if !gave_up then Sf_obs.Counter.incr obs_gave_up;
+    if Oracle.requests oracle >= budget && not (stopped stop_at oracle) then
+      Sf_obs.Counter.incr obs_budget_exhausted;
+    Sf_obs.Histo.observe_int obs_requests_per_run paid;
+    Sf_obs.Counter.add
+      (Sf_obs.Registry.counter
+         ("search.strategy." ^ metric_component strategy.Strategy.name ^ ".requests"))
+      paid
+  end;
   {
     strategy = strategy.Strategy.name;
     n_vertices = Oracle.n_vertices oracle;

@@ -1,5 +1,11 @@
 type churn = { mean_up : float; mean_down : float }
 
+(* Observability: how much churn the lazy renewal process actually
+   simulated (doc/OBSERVABILITY.md). *)
+let obs_queries = Sf_obs.Registry.counter "sim.churn.queries"
+let obs_flips = Sf_obs.Registry.counter "sim.churn.flips"
+let obs_uptime = Sf_obs.Registry.gauge "sim.churn.uptime"
+
 let uptime c = c.mean_up /. (c.mean_up +. c.mean_down)
 
 type result = {
@@ -42,6 +48,7 @@ let make_liveness rng churn ~n ~force_alive =
 let alive_at l v t =
   let i = v - 1 in
   while l.next_flip.(i) <= t do
+    if Sf_obs.Registry.enabled () then Sf_obs.Counter.incr obs_flips;
     l.state.(i) <- not l.state.(i);
     let mean = if l.state.(i) then l.churn.mean_up else l.churn.mean_down in
     l.next_flip.(i) <- l.next_flip.(i) +. Sf_prng.Dist.exponential l.rng ~rate:(1. /. mean)
@@ -51,6 +58,10 @@ let alive_at l v t =
 let query ?max_messages ~rng net churn protocol ~source ~holders =
   if churn.mean_up <= 0. || churn.mean_down <= 0. then
     invalid_arg "Churn_sim.query: churn means must be positive";
+  if Sf_obs.Registry.enabled () then begin
+    Sf_obs.Counter.incr obs_queries;
+    Sf_obs.Registry.set_gauge obs_uptime (uptime churn)
+  end;
   let liveness = make_liveness rng churn ~n:(Network.n_nodes net) ~force_alive:source in
   let res =
     Query_sim.query ?max_messages ~alive:(alive_at liveness) ~rng net protocol ~source

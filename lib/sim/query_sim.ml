@@ -1,6 +1,17 @@
 module Rng = Sf_prng.Rng
 module Ugraph = Sf_graph.Ugraph
 
+(* Observability: message/coverage counters plus the two load gauges
+   (deepest event-queue backlog and delivered-message rate) of the
+   most recent query (doc/OBSERVABILITY.md). *)
+let obs_queries = Sf_obs.Registry.counter "sim.queries"
+let obs_messages = Sf_obs.Registry.counter "sim.messages"
+let obs_dropped = Sf_obs.Registry.counter "sim.dropped"
+let obs_contacted = Sf_obs.Registry.counter "sim.contacted"
+let obs_queue_depth = Sf_obs.Registry.gauge "sim.queue_depth.max"
+let obs_event_rate = Sf_obs.Registry.gauge "sim.event_rate"
+let obs_hit_time = Sf_obs.Registry.histo "sim.hit_time"
+
 type protocol =
   | Flood of { ttl : int }
   | K_walkers of { k : int; ttl : int }
@@ -101,8 +112,13 @@ let query ?max_messages ?(alive = fun _ _ -> true) ~rng net protocol ~source ~ho
   | Percolation { q; ttl } ->
     mark_flood source;
     forward_percolation source ~from:0 ~ttl ~q);
+  let obs = Sf_obs.Registry.enabled () in
+  let max_depth = ref (Event_queue.length queue) in
   let continue = ref true in
   while !continue && !hit_time = None do
+    (if obs then
+       let d = Event_queue.length queue in
+       if d > !max_depth then max_depth := d);
     match Event_queue.next queue with
     | None -> continue := false
     | Some (time, msg) ->
@@ -129,6 +145,16 @@ let query ?max_messages ?(alive = fun _ _ -> true) ~rng net protocol ~source ~ho
       end
       end
   done;
+  if obs then begin
+    Sf_obs.Counter.incr obs_queries;
+    Sf_obs.Counter.add obs_messages !messages;
+    Sf_obs.Counter.add obs_dropped !dropped;
+    Sf_obs.Counter.add obs_contacted !contacted;
+    Sf_obs.Registry.set_gauge obs_queue_depth (float_of_int !max_depth);
+    if !now > 0. then
+      Sf_obs.Registry.set_gauge obs_event_rate (float_of_int !messages /. !now);
+    Option.iter (Sf_obs.Histo.observe obs_hit_time) !hit_time
+  end;
   {
     hit = !hit_time <> None;
     hit_time = !hit_time;

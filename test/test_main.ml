@@ -10,4 +10,5 @@ let () =
       ("sim", Test_sim.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
     ]

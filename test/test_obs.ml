@@ -1,0 +1,244 @@
+(* Tests for the observability layer: counter monotonicity, histogram
+   bucket boundaries, span nesting and ordering, registry name
+   semantics, and the JSON manifest round-trip.
+
+   The registry is process-global and shared with the instrumented
+   libraries, so these tests use a reserved "test.obs." name prefix
+   and never call Registry.clear. *)
+
+module Counter = Sf_obs.Counter
+module Timer = Sf_obs.Timer
+module Histo = Sf_obs.Histo
+module Span = Sf_obs.Span
+module Registry = Sf_obs.Registry
+module Export = Sf_obs.Export
+
+(* --- counters ---------------------------------------------------------- *)
+
+let test_counter_monotone () =
+  let c = Counter.create () in
+  Alcotest.(check int) "starts at zero" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.incr c;
+  Counter.incr c;
+  Alcotest.(check int) "three increments" 3 (Counter.value c);
+  Counter.add c 5;
+  Alcotest.(check int) "add" 8 (Counter.value c);
+  Counter.add c 0;
+  Alcotest.(check int) "zero delta allowed" 8 (Counter.value c);
+  Alcotest.check_raises "negative delta rejected"
+    (Invalid_argument "Counter.add: negative delta (counters are monotone)") (fun () ->
+      Counter.add c (-1));
+  Alcotest.(check int) "unchanged after rejection" 8 (Counter.value c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.value c)
+
+(* --- timers ------------------------------------------------------------ *)
+
+let test_timer_accumulates () =
+  let t = Timer.create () in
+  Alcotest.(check int) "no intervals" 0 (Timer.count t);
+  Alcotest.(check (float 1e-9)) "mean of nothing" 0. (Timer.mean_s t);
+  let x = Timer.time t (fun () -> 21 * 2) in
+  Alcotest.(check int) "payload returned" 42 x;
+  Alcotest.(check int) "one interval" 1 (Timer.count t);
+  Alcotest.(check bool) "non-negative total" true (Timer.total_s t >= 0.);
+  Timer.start t;
+  Timer.stop t;
+  Alcotest.(check int) "start/stop interval" 2 (Timer.count t);
+  Timer.stop t;
+  Alcotest.(check int) "stray stop ignored" 2 (Timer.count t);
+  (* exceptions still record the interval *)
+  (try Timer.time t (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "interval recorded on raise" 3 (Timer.count t)
+
+(* --- histogram bucket boundaries --------------------------------------- *)
+
+let test_histo_bucket_boundaries () =
+  let h = Histo.create () in
+  (* base 2: bucket 0 is (-inf, 1]; bucket i >= 1 is (2^(i-1), 2^i] *)
+  Alcotest.(check int) "negatives in bucket 0" 0 (Histo.bucket_index h (-3.));
+  Alcotest.(check int) "zero in bucket 0" 0 (Histo.bucket_index h 0.);
+  Alcotest.(check int) "one in bucket 0" 0 (Histo.bucket_index h 1.);
+  Alcotest.(check int) "just above one" 1 (Histo.bucket_index h 1.0001);
+  Alcotest.(check int) "two closes bucket 1" 1 (Histo.bucket_index h 2.);
+  Alcotest.(check int) "just above two" 2 (Histo.bucket_index h 2.0001);
+  Alcotest.(check int) "four closes bucket 2" 2 (Histo.bucket_index h 4.);
+  Alcotest.(check int) "exact powers stay put" 10 (Histo.bucket_index h 1024.);
+  Alcotest.(check int) "just above a power" 11 (Histo.bucket_index h 1024.5);
+  List.iter (fun v -> Histo.observe h v) [ 0.5; 1.; 1.5; 2.; 3.; 4.; 100. ];
+  Alcotest.(check int) "count" 7 (Histo.count h);
+  Alcotest.(check (float 1e-9)) "sum" 112. (Histo.sum h);
+  Alcotest.(check (float 1e-9)) "min" 0.5 (Histo.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 100. (Histo.max_value h);
+  Alcotest.(check int) "bucket 0 holds 0.5 and 1" 2 (Histo.bucket_count h 0);
+  Alcotest.(check int) "bucket 1 holds 1.5 and 2" 2 (Histo.bucket_count h 1);
+  Alcotest.(check int) "bucket 2 holds 3 and 4" 2 (Histo.bucket_count h 2);
+  Alcotest.(check int) "bucket 7 holds 100" 1 (Histo.bucket_count h 7);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "non-empty buckets with upper bounds"
+    [ (1., 2); (2., 2); (4., 2); (128., 1) ]
+    (Histo.buckets h)
+
+let test_histo_quantile_and_base () =
+  Alcotest.check_raises "base must exceed 1" (Invalid_argument "Histo.create: need base > 1")
+    (fun () -> ignore (Histo.create ~base:1. ()));
+  let h = Histo.create ~base:10. () in
+  Alcotest.(check int) "ten closes bucket 1 (base 10)" 1 (Histo.bucket_index h 10.);
+  Alcotest.(check int) "eleven opens bucket 2 (base 10)" 2 (Histo.bucket_index h 11.);
+  Alcotest.(check bool) "quantile of empty is nan" true (Float.is_nan (Histo.quantile h 0.5));
+  for v = 1 to 100 do
+    Histo.observe_int h v
+  done;
+  (* quantile returns the bucket upper bound: an upper estimate *)
+  Alcotest.(check (float 1e-9)) "p50 upper estimate" 100. (Histo.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p05 in the first decade" 10. (Histo.quantile h 0.05);
+  Alcotest.check_raises "quantile range" (Invalid_argument "Histo.quantile: need q in [0, 1]")
+    (fun () -> ignore (Histo.quantile h 1.5))
+
+(* --- spans -------------------------------------------------------------- *)
+
+let test_span_nesting_and_order () =
+  Span.reset ();
+  let r =
+    Span.with_span "outer" (fun () ->
+        Span.with_span "first-child" (fun () -> ());
+        Span.with_span "second-child" (fun () -> ());
+        17)
+  in
+  Alcotest.(check int) "payload returned" 17 r;
+  Span.with_span "later-root" (fun () -> ());
+  (match Span.roots () with
+  | [ outer; later ] ->
+    Alcotest.(check string) "roots in completion order" "outer" (Span.name outer);
+    Alcotest.(check string) "second root" "later-root" (Span.name later);
+    Alcotest.(check (list string)) "children in order" [ "first-child"; "second-child" ]
+      (List.map Span.name (Span.children outer));
+    Alcotest.(check bool) "durations non-negative" true
+      (Span.duration_s outer >= 0. && Span.duration_s later >= 0.);
+    let child_total =
+      List.fold_left (fun acc c -> acc +. Span.duration_s c) 0. (Span.children outer)
+    in
+    Alcotest.(check bool) "children fit inside the parent" true
+      (child_total <= Span.duration_s outer +. 1e-6)
+  | roots -> Alcotest.failf "expected 2 roots, got %d" (List.length roots));
+  Span.reset ();
+  Alcotest.(check int) "reset empties the forest" 0 (List.length (Span.roots ()))
+
+let test_span_exception_safety () =
+  Span.reset ();
+  (try Span.with_span "survives-raise" (fun () -> failwith "boom") with Failure _ -> ());
+  (match Span.roots () with
+  | [ s ] -> Alcotest.(check string) "span closed by the exception" "survives-raise" (Span.name s)
+  | _ -> Alcotest.fail "span should have been completed");
+  Span.reset ()
+
+let test_span_disabled_is_transparent () =
+  Span.reset ();
+  Registry.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Registry.set_enabled true)
+    (fun () ->
+      let r = Span.with_span "invisible" (fun () -> 5) in
+      Alcotest.(check int) "body still runs" 5 r);
+  Alcotest.(check int) "no span recorded while disabled" 0 (List.length (Span.roots ()))
+
+(* --- registry ----------------------------------------------------------- *)
+
+let test_registry_get_or_create () =
+  let a = Registry.counter "test.obs.shared" in
+  let b = Registry.counter "test.obs.shared" in
+  Alcotest.(check bool) "same instance returned" true (a == b);
+  Counter.incr a;
+  Alcotest.(check int) "one object behind the name" 1 (Counter.value b)
+
+let test_registry_kind_collision () =
+  ignore (Registry.counter "test.obs.collide");
+  Alcotest.check_raises "timer under a counter name"
+    (Invalid_argument "Registry: metric \"test.obs.collide\" already registered as a counter")
+    (fun () -> ignore (Registry.timer "test.obs.collide"));
+  Alcotest.check_raises "histogram under a counter name"
+    (Invalid_argument "Registry: metric \"test.obs.collide\" already registered as a counter")
+    (fun () -> ignore (Registry.histo "test.obs.collide"))
+
+let test_registry_name_grammar () =
+  Alcotest.check_raises "empty name" (Invalid_argument "Registry: empty metric name") (fun () ->
+      ignore (Registry.counter ""));
+  Alcotest.check_raises "bad character"
+    (Invalid_argument "Registry: bad character ' ' in metric name \"test obs\"") (fun () ->
+      ignore (Registry.counter "test obs"))
+
+let test_registry_gauge_and_names () =
+  let g = Registry.gauge "test.obs.gauge" in
+  Alcotest.(check bool) "fresh gauge unset" false (Registry.gauge_set g);
+  Registry.set_gauge g 2.5;
+  Alcotest.(check bool) "gauge set" true (Registry.gauge_set g);
+  Alcotest.(check (float 1e-9)) "gauge value" 2.5 (Registry.gauge_value g);
+  Alcotest.(check bool) "names are sorted" true
+    (let names = Registry.names () in
+     List.sort compare names = names);
+  Alcotest.(check bool) "gauge listed" true (List.mem "test.obs.gauge" (Registry.names ()))
+
+(* --- export round-trip --------------------------------------------------- *)
+
+let test_manifest_roundtrip () =
+  ignore (Registry.counter "test.obs.roundtrip");
+  let manifest =
+    Export.manifest_json
+      ~extra:[ ("note", Export.json_string "shape only: {\"metrics\": tricky}") ]
+      ~tool:"test" ~seed:7 ~mode:"unit" ()
+  in
+  let names = Export.metric_names_of_manifest manifest in
+  Alcotest.(check (list string)) "manifest names = registry names" (Registry.names ()) names;
+  (* the scanner is not fooled by nested objects inside metric values *)
+  Alcotest.(check bool) "no bucket keys leak" true
+    (List.for_all (fun n -> n <> "kind" && n <> "value" && n <> "buckets") names)
+
+let test_manifest_without_metrics_section () =
+  Alcotest.(check (list string)) "no metrics object" []
+    (Export.metric_names_of_manifest {|{"tool": "x", "seed": 3}|})
+
+let test_csv_export_covers_registry () =
+  let csv = Export.metrics_csv () in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header plus one row per metric"
+    (1 + List.length (Registry.names ()))
+    (List.length lines);
+  Alcotest.(check string) "header" "name,kind,value,count,mean" (List.hd lines)
+
+let test_disabled_counters_freeze_sites () =
+  (* instrumented library sites guard on Registry.enabled: a search run
+     with observability off must leave the search counters untouched *)
+  let requests = Registry.counter "search.requests" in
+  let before = Counter.value requests in
+  Registry.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Registry.set_enabled true)
+    (fun () ->
+      let rng = Sf_prng.Rng.of_seed 11 in
+      let g = Sf_graph.Ugraph.of_digraph (Sf_gen.Mori.tree rng ~p:0.5 ~t:200) in
+      let outcome =
+        Sf_search.Runner.search ~rng g Sf_search.Strategies.bfs ~source:1 ~target:200
+      in
+      Alcotest.(check bool) "search still works" true
+        (outcome.Sf_search.Runner.to_target <> None));
+  Alcotest.(check int) "no requests counted while disabled" before (Counter.value requests)
+
+let suite =
+  [
+    ("counter monotonicity", `Quick, test_counter_monotone);
+    ("timer accumulates", `Quick, test_timer_accumulates);
+    ("histogram bucket boundaries", `Quick, test_histo_bucket_boundaries);
+    ("histogram quantiles and bases", `Quick, test_histo_quantile_and_base);
+    ("span nesting and ordering", `Quick, test_span_nesting_and_order);
+    ("span exception safety", `Quick, test_span_exception_safety);
+    ("span disabled transparency", `Quick, test_span_disabled_is_transparent);
+    ("registry get-or-create", `Quick, test_registry_get_or_create);
+    ("registry kind collision", `Quick, test_registry_kind_collision);
+    ("registry name grammar", `Quick, test_registry_name_grammar);
+    ("registry gauges and names", `Quick, test_registry_gauge_and_names);
+    ("manifest round-trip", `Quick, test_manifest_roundtrip);
+    ("manifest without metrics", `Quick, test_manifest_without_metrics_section);
+    ("csv export", `Quick, test_csv_export_covers_registry);
+    ("disabled mode freezes counters", `Quick, test_disabled_counters_freeze_sites);
+  ]

@@ -565,6 +565,38 @@ let prop_requests_never_decrease_knowledge =
            (fun (ok, prev) e -> (ok && e.Runner.discovered_total >= prev, e.Runner.discovered_total))
            (true, 1) trace))
 
+(* --- Observability ----------------------------------------------------- *)
+
+let test_obs_counters_match_outcome () =
+  (* The obs counters are process-global, so measure deltas: one
+     weak-model search on a fixed seed must advance search.requests,
+     search.requests.weak and the per-strategy counter by exactly the
+     outcome's total_requests — the same quantity Lemma 1 counts. *)
+  let total = Sf_obs.Registry.counter "search.requests" in
+  let weak = Sf_obs.Registry.counter "search.requests.weak" in
+  let strong = Sf_obs.Registry.counter "search.requests.strong" in
+  let by_strategy = Sf_obs.Registry.counter "search.strategy.bfs.requests" in
+  let runs = Sf_obs.Registry.counter "search.runs" in
+  let before = Sf_obs.Counter.value total in
+  let before_weak = Sf_obs.Counter.value weak in
+  let before_strong = Sf_obs.Counter.value strong in
+  let before_strategy = Sf_obs.Counter.value by_strategy in
+  let before_runs = Sf_obs.Counter.value runs in
+  let rng = Rng.of_seed 4242 in
+  let g = Ugraph.of_digraph (Sf_gen.Mori.tree rng ~p:0.5 ~t:400) in
+  let outcome = Runner.search ~rng g Strategies.bfs ~source:1 ~target:400 in
+  Alcotest.(check bool) "bfs reaches the target" true (outcome.Runner.to_target <> None);
+  Alcotest.(check int) "search.requests counts every oracle request"
+    outcome.Runner.total_requests
+    (Sf_obs.Counter.value total - before);
+  Alcotest.(check int) "a weak-model run only advances the weak counter"
+    outcome.Runner.total_requests
+    (Sf_obs.Counter.value weak - before_weak);
+  Alcotest.(check int) "strong counter untouched" 0 (Sf_obs.Counter.value strong - before_strong);
+  Alcotest.(check int) "per-strategy attribution" outcome.Runner.total_requests
+    (Sf_obs.Counter.value by_strategy - before_strategy);
+  Alcotest.(check int) "one run recorded" 1 (Sf_obs.Counter.value runs - before_runs)
+
 let suite =
   [
     ("oracle initial state", `Quick, test_oracle_initial_state);
@@ -607,6 +639,7 @@ let suite =
     ("percolation replicate", `Quick, test_percolation_replicate);
     ("percolation finds", `Quick, test_percolation_finds_on_small_graph);
     ("percolation needs probability", `Quick, test_percolation_zero_prob_rarely_hits);
+    ("obs counters match outcome", `Quick, test_obs_counters_match_outcome);
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_strong_equals_weak_closure;
     QCheck_alcotest.to_alcotest prop_kleinberg_distance_is_metric;
