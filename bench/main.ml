@@ -15,6 +15,9 @@
      main.exe --no-exp        skip the experiment tables
      main.exe --metrics F     write the obs.json run manifest to F
      main.exe --no-obs        disable all instrumentation
+     main.exe --trace F       write the event trace to F (.jsonl
+                              streams; else Perfetto JSON)
+     main.exe --progress      live per-experiment progress on stderr
      main.exe --baseline F    metric-name baseline for --quick
                               (default bench/baseline_quick.json) *)
 
@@ -26,6 +29,8 @@ type options = {
   experiments : bool;
   metrics : string option;
   obs : bool;
+  trace : string option;
+  progress : bool;
   baseline : string;
 }
 
@@ -37,6 +42,8 @@ let parse_args () =
   and experiments = ref true
   and metrics = ref ""
   and obs = ref true
+  and trace = ref ""
+  and progress = ref false
   and baseline = ref "bench/baseline_quick.json" in
   let spec =
     [
@@ -47,6 +54,10 @@ let parse_args () =
       ("--no-exp", Arg.Clear experiments, "skip experiment tables");
       ("--metrics", Arg.Set_string metrics, "write the obs.json run manifest to FILE");
       ("--no-obs", Arg.Clear obs, "disable all instrumentation (no counters, no manifest)");
+      ( "--trace",
+        Arg.Set_string trace,
+        "write the event trace to FILE (.jsonl streams; else Perfetto JSON)" );
+      ("--progress", Arg.Set progress, "live per-experiment progress on stderr");
       ( "--baseline",
         Arg.Set_string baseline,
         "metric-name baseline diffed against in --quick mode" );
@@ -65,6 +76,8 @@ let parse_args () =
     experiments = !experiments;
     metrics = (if !metrics = "" then None else Some !metrics);
     obs = !obs;
+    trace = (if !trace = "" then None else Some !trace);
+    progress = !progress;
     baseline = !baseline;
   }
 
@@ -72,7 +85,7 @@ let parse_args () =
 (* Part 1: experiment tables                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments ~quick ~seed ids =
+let run_experiments ~quick ~seed ~progress ids =
   let selected =
     match ids with
     | None -> Sf_experiments.Registry.all
@@ -88,6 +101,11 @@ let run_experiments ~quick ~seed ids =
         wanted
   in
   let failures = ref 0 in
+  let reporter =
+    if progress then
+      Some (Sf_obs.Progress.create ~label:"experiments" ~total:(List.length selected) ())
+    else None
+  in
   List.iter
     (fun (entry : Sf_experiments.Registry.entry) ->
       let t0 = Unix.gettimeofday () in
@@ -102,8 +120,12 @@ let run_experiments ~quick ~seed ids =
           if not ok then incr failures;
           Printf.printf "  [%s] %s\n" (if ok then "ok" else "SHAPE MISMATCH") name)
         result.Sf_experiments.Exp.checks;
-      flush stdout)
+      flush stdout;
+      Option.iter
+        (fun pr -> Sf_obs.Progress.step pr ~detail:result.Sf_experiments.Exp.id)
+        reporter)
     selected;
+  Option.iter Sf_obs.Progress.finish reporter;
   Printf.printf "\n================================================================\n";
   if !failures = 0 then
     Printf.printf "All shape checks passed across %d experiments.\n" (List.length selected)
@@ -300,14 +322,17 @@ let write_manifest opts path =
       ("quick", string_of_bool opts.quick);
     ]
   in
-  try
-    Sf_obs.Export.write_manifest ~extra ~tool:"bench/main.exe" ~seed:opts.seed
+  match
+    Sf_obs.Export.write_manifest_checked ~extra ~tool:"bench/main.exe" ~seed:opts.seed
       ~mode:(if opts.quick then "quick" else "full")
-      ~path ();
+      ~path ()
+  with
+  | `Written ->
     Printf.printf "wrote run manifest to %s (%d metrics, %d top-level spans)\n" path
       (List.length (Sf_obs.Registry.names ()))
       (List.length (Sf_obs.Span.roots ()))
-  with Sys_error msg ->
+  | `Skipped_disabled -> () (* the warning is already on stderr *)
+  | `Error msg ->
     Printf.eprintf "cannot write run manifest: %s\n" msg;
     exit 1
 
@@ -341,26 +366,68 @@ let baseline_shape_check path =
     end
   end
 
+(* The [--trace] sinks: the file exporter plus a flight recorder armed
+   to dump on the first gave-up run; the top-level handler below dumps
+   it again if the harness raises. *)
+let attach_trace_sinks opts =
+  match opts.trace with
+  | None -> (None, [])
+  | Some path when not opts.obs ->
+    Printf.eprintf
+      "observability is disabled (--no-obs); not writing an event trace to %s\n" path;
+    (None, [])
+  | Some path ->
+    let flight = Sf_obs.Flight.create () in
+    Sf_obs.Flight.arm flight
+      ~trigger:(fun e -> e.Sf_obs.Trace.name = "search.gave_up")
+      ~action:(fun f ->
+        Printf.eprintf "flight recorder: a strategy gave up; recent events:\n";
+        Sf_obs.Flight.dump f);
+    ( Some flight,
+      [ Sf_obs.Trace.attach (Sf_obs.Flight.sink flight); Sf_obs.Trace_export.attach_file path ]
+    )
+
 let () =
   let opts = parse_args () in
   if not opts.obs then Sf_obs.Registry.set_enabled false;
+  let flight, sink_ids = attach_trace_sinks opts in
+  let close_trace () =
+    List.iter Sf_obs.Trace.detach sink_ids;
+    match opts.trace with
+    | Some path when opts.obs -> Printf.printf "wrote event trace to %s\n" path
+    | Some _ | None -> ()
+  in
   Printf.printf "Non-searchability of random scale-free graphs - experiment harness\n";
   Printf.printf "mode: %s, seed: %d%s\n"
     (if opts.quick then "quick" else "full")
     opts.seed
     (if opts.obs then "" else ", observability off");
-  if opts.experiments && opts.ids = None then
-    Sf_obs.Span.with_span "verify" (fun () ->
-        (* the statement-by-statement certificate heads the full run *)
-        let reports = Sf_core.Paper.verify ~seed:opts.seed in
-        print_newline ();
-        print_string (Sf_core.Paper.render reports);
-        if not (Sf_core.Paper.all_pass reports) then
-          print_endline "WARNING: some paper statements failed their self-check.");
-  if opts.experiments then
-    Sf_obs.Span.with_span "experiments" (fun () ->
-        run_experiments ~quick:opts.quick ~seed:opts.seed opts.ids);
-  if opts.micro then Sf_obs.Span.with_span "microbench" (fun () -> run_microbenchmarks ~quick:opts.quick);
+  (try
+     if opts.experiments && opts.ids = None then
+       Sf_obs.Span.with_span "verify" (fun () ->
+           (* the statement-by-statement certificate heads the full run *)
+           let reports = Sf_core.Paper.verify ~seed:opts.seed in
+           print_newline ();
+           print_string (Sf_core.Paper.render reports);
+           if not (Sf_core.Paper.all_pass reports) then
+             print_endline "WARNING: some paper statements failed their self-check.");
+     if opts.experiments then
+       Sf_obs.Span.with_span "experiments" (fun () ->
+           run_experiments ~quick:opts.quick ~seed:opts.seed ~progress:opts.progress
+             opts.ids);
+     if opts.micro then
+       Sf_obs.Span.with_span "microbench" (fun () -> run_microbenchmarks ~quick:opts.quick)
+   with exn ->
+     (match flight with
+     | Some f when Sf_obs.Flight.seen f > 0 ->
+       Printf.eprintf "flight recorder: run raised (%s); recent events:\n"
+         (Printexc.to_string exn);
+       Sf_obs.Flight.dump f
+     | Some _ | None -> ());
+     close_trace ();
+     (* a partial trace file is still written *)
+     raise exn);
+  close_trace ();
   Option.iter (write_manifest opts) opts.metrics;
   let shape_ok =
     (* the check needs the full default metric surface: skip it when a

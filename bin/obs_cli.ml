@@ -1,0 +1,116 @@
+(* Shared observability plumbing for the command-line tools: the
+   --metrics / --no-obs / --trace / --progress flag quartet and the
+   session bracket that turns them into attached sinks, an armed
+   flight recorder, and a run manifest.
+
+   Usage in a tool:
+
+     let run ... (obs : Obs_cli.t) =
+       Obs_cli.with_session obs ~tool:"sfgen" ~seed ~mode:model
+         (fun () -> ... the tool body, returning an exit code ...)
+
+   The bracket attaches the trace sinks before the body runs, dumps
+   the flight recorder if the body raises or a strategy gives up,
+   detaches (finalising the trace file) afterwards, and writes the
+   manifest last so it sees every metric the body touched. *)
+
+open Cmdliner
+
+type t = {
+  metrics : string option;
+  no_obs : bool;
+  trace : string option;
+  progress : bool;
+}
+
+let term =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"Write an obs.json run manifest to $(docv)")
+  in
+  let no_obs =
+    Arg.(
+      value & flag
+      & info [ "no-obs" ]
+          ~doc:"Disable all instrumentation (counters, timers, spans, trace events)")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured event trace to $(docv): a .jsonl suffix streams one \
+             JSON object per event; any other suffix writes Chrome trace-event JSON \
+             loadable in ui.perfetto.dev")
+  in
+  let progress =
+    Arg.(value & flag & info [ "progress" ] ~doc:"Report live progress on stderr")
+  in
+  Term.(
+    const (fun metrics no_obs trace progress -> { metrics; no_obs; trace; progress })
+    $ metrics $ no_obs $ trace $ progress)
+
+type session = { flight : Sf_obs.Flight.t option; sink_ids : Sf_obs.Trace.id list }
+
+let start (t : t) =
+  if t.no_obs then Sf_obs.Registry.set_enabled false;
+  match t.trace with
+  | None -> { flight = None; sink_ids = [] }
+  | Some path when t.no_obs ->
+    Printf.eprintf
+      "observability is disabled (--no-obs); not writing an event trace to %s\n" path;
+    { flight = None; sink_ids = [] }
+  | Some path ->
+    (* the recorder rides along only when tracing is on, so untraced
+       runs keep the stream inactive and pay nothing per event *)
+    let flight = Sf_obs.Flight.create () in
+    Sf_obs.Flight.arm flight
+      ~trigger:(fun e -> e.Sf_obs.Trace.name = "search.gave_up")
+      ~action:(fun f ->
+        Printf.eprintf "flight recorder: a strategy gave up; recent events:\n";
+        Sf_obs.Flight.dump f);
+    let flight_id = Sf_obs.Trace.attach (Sf_obs.Flight.sink flight) in
+    let file_id = Sf_obs.Trace_export.attach_file path in
+    { flight = Some flight; sink_ids = [ flight_id; file_id ] }
+
+let close_sinks session = List.iter Sf_obs.Trace.detach session.sink_ids
+
+(* [extra] is a thunk: manifest extras (instance sizes, strategy
+   names) are typically computed inside the body, after the session
+   has already started. *)
+let finish (t : t) session ?(extra = fun () -> []) ~tool ~seed ~mode code =
+  close_sinks session;
+  (match t.trace with
+  | Some path when not t.no_obs -> Printf.printf "wrote event trace to %s\n" path
+  | Some _ | None -> ());
+  match t.metrics with
+  | None -> code
+  | Some path -> (
+    match
+      Sf_obs.Export.write_manifest_checked ~extra:(extra ()) ~tool ~seed ~mode ~path ()
+    with
+    | `Written ->
+      Printf.printf "wrote run manifest to %s (%d metrics)\n" path
+        (List.length (Sf_obs.Registry.names ()));
+      code
+    | `Skipped_disabled -> code (* the warning is already on stderr *)
+    | `Error msg ->
+      Printf.eprintf "cannot write run manifest: %s\n" msg;
+      if code = 0 then 1 else code)
+
+let with_session (t : t) ?extra ~tool ~seed ~mode body =
+  let session = start t in
+  match body () with
+  | code -> finish t session ?extra ~tool ~seed ~mode code
+  | exception exn ->
+    (match session.flight with
+    | Some f when Sf_obs.Flight.seen f > 0 ->
+      Printf.eprintf "flight recorder: run raised (%s); recent events:\n"
+        (Printexc.to_string exn);
+      Sf_obs.Flight.dump f
+    | Some _ | None -> ());
+    close_sinks session;
+    raise exn

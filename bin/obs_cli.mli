@@ -1,0 +1,34 @@
+(** Shared observability flags and session bracket of the command-line
+    tools ([--metrics], [--no-obs], [--trace], [--progress]).
+
+    Every tool splices {!term} into its cmdliner term and wraps its
+    body in {!with_session}, which attaches the [--trace] sinks (file
+    exporter plus an armed {!Sf_obs.Flight} recorder), dumps the
+    recorder when the body raises or a strategy gives up, finalises
+    the trace file, and writes the [--metrics] manifest last. *)
+
+type t = {
+  metrics : string option;  (** [--metrics FILE]: write an obs.json manifest *)
+  no_obs : bool;  (** [--no-obs]: kill switch for all instrumentation *)
+  trace : string option;
+      (** [--trace FILE]: event trace; [.jsonl] streams, else Perfetto *)
+  progress : bool;  (** [--progress]: live progress on stderr *)
+}
+
+val term : t Cmdliner.Term.t
+
+val with_session :
+  t ->
+  ?extra:(unit -> (string * string) list) ->
+  tool:string ->
+  seed:int ->
+  mode:string ->
+  (unit -> int) ->
+  int
+(** [with_session t ~tool ~seed ~mode body] brackets [body] with sink
+    attach/detach and manifest writing; returns [body]'s exit code,
+    forced to nonzero if the manifest write fails. [extra] is
+    evaluated after [body] returns — manifest extras are typically
+    computed inside the body. Re-raises whatever [body] raises, after
+    dumping the flight recorder and closing the sinks (a partial
+    trace file is still written). *)

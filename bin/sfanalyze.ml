@@ -53,7 +53,9 @@ let report ?(distances = false) ~seed g =
     (try Sf_stats.Histogram.render (Sf_stats.Histogram.logarithmic in_deg ())
      with Invalid_argument _ -> "(no positive indegrees)\n")
 
-let run model n p m alpha exponent seed graph_file distances =
+let run model n p m alpha exponent seed graph_file distances (obs : Obs_cli.t) =
+  let mode = match graph_file with Some _ -> "graph-file" | None -> model in
+  Obs_cli.with_session obs ~tool:"sfanalyze" ~seed ~mode @@ fun () ->
   let rng = Sf_prng.Rng.of_seed seed in
   let g =
     match graph_file with
@@ -90,6 +92,6 @@ let cmd =
   Cmd.v (Cmd.info "sfanalyze" ~doc)
     Term.(
       const run $ model_arg $ n_arg $ p_arg $ m_arg $ alpha_arg $ exponent_arg $ seed_arg
-      $ graph_arg $ distances_arg)
+      $ graph_arg $ distances_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

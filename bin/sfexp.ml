@@ -25,7 +25,12 @@ let print_result (result : Sf_experiments.Exp.result) =
     result.Sf_experiments.Exp.checks;
   Sf_experiments.Exp.all_pass result
 
-let run_experiment id quick seed =
+let run_experiment id quick seed (obs : Obs_cli.t) =
+  Obs_cli.with_session obs ~tool:"sfexp"
+    ~extra:(fun () -> [ ("experiment", Sf_obs.Export.json_string id) ])
+    ~seed
+    ~mode:(if quick then "quick" else "full")
+  @@ fun () ->
   let entries =
     if String.lowercase_ascii id = "all" then Some Sf_experiments.Registry.all
     else
@@ -38,12 +43,22 @@ let run_experiment id quick seed =
     Printf.eprintf "unknown experiment %s; try 'sfexp list'\n" id;
     1
   | Some entries ->
+    let progress =
+      if obs.Obs_cli.progress then
+        Some (Sf_obs.Progress.create ~label:"experiments" ~total:(List.length entries) ())
+      else None
+    in
     let ok =
       List.for_all
         (fun (e : Sf_experiments.Registry.entry) ->
-          print_result (e.Sf_experiments.Registry.run ~quick ~seed))
+          let ok = print_result (e.Sf_experiments.Registry.run ~quick ~seed) in
+          Option.iter
+            (fun pr -> Sf_obs.Progress.step pr ~detail:e.Sf_experiments.Registry.id)
+            progress;
+          ok)
         entries
     in
+    Option.iter Sf_obs.Progress.finish progress;
     if ok then 0 else 2
 
 let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (T1..T14) or 'all'")
@@ -53,7 +68,7 @@ let seed_arg = Arg.(value & opt int 20070615 & info [ "seed" ] ~doc:"Master seed
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"run an experiment by id")
-    Term.(const run_experiment $ id_arg $ quick_arg $ seed_arg)
+    Term.(const run_experiment $ id_arg $ quick_arg $ seed_arg $ Obs_cli.term)
 
 let list_cmd = Cmd.v (Cmd.info "list" ~doc:"list experiment ids") Term.(const list_experiments $ const ())
 

@@ -44,7 +44,8 @@ let print_stats g =
     (try Sf_stats.Histogram.render (Sf_stats.Histogram.logarithmic in_deg ())
      with Invalid_argument _ -> "(no positive indegrees)\n")
 
-let run model n p m alpha exponent d_min side r q seed out dot stats =
+let run model n p m alpha exponent d_min side r q seed out dot stats (obs : Obs_cli.t) =
+  Obs_cli.with_session obs ~tool:"sfgen" ~seed ~mode:model @@ fun () ->
   match
     generate_graph ~model ~n ~p ~m ~alpha ~exponent ~d_min ~side ~r ~q ~seed
   with
@@ -94,6 +95,6 @@ let cmd =
     (Cmd.info "sfgen" ~doc)
     Term.(
       const run $ model_arg $ n_arg $ p_arg $ m_arg $ alpha_arg $ exponent_arg $ d_min_arg
-      $ side_arg $ r_arg $ q_arg $ seed_arg $ out_arg $ dot_arg $ stats_arg)
+      $ side_arg $ r_arg $ q_arg $ seed_arg $ out_arg $ dot_arg $ stats_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

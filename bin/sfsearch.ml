@@ -22,8 +22,10 @@ let strategy_names () =
   |> String.concat ", "
 
 let run model n p m alpha exponent strategy_name source target trials budget seed graph_file
-    trace_csv metrics no_obs =
-  if no_obs then Sf_obs.Registry.set_enabled false;
+    trace_csv (obs : Obs_cli.t) =
+  let extra = ref [] in
+  Obs_cli.with_session obs ~extra:(fun () -> !extra) ~tool:"sfsearch" ~seed ~mode:model
+  @@ fun () ->
   let rng = Sf_prng.Rng.of_seed seed in
   let graph, default_target =
     match graph_file with
@@ -57,6 +59,11 @@ let run model n p m alpha exponent strategy_name source target trials budget see
     let to_target = Sf_stats.Summary.create () in
     let to_neighbor = Sf_stats.Summary.create () in
     let timeouts = ref 0 in
+    let progress =
+      if obs.Obs_cli.progress then
+        Some (Sf_obs.Progress.create ~label:"trials" ~total:trials ())
+      else None
+    in
     Sf_obs.Span.with_span "trials" (fun () ->
     for trial = 1 to trials do
       let trial_rng = Sf_prng.Rng.split_at rng trial in
@@ -85,10 +92,17 @@ let run model n p m alpha exponent strategy_name source target trials budget see
       (match outcome.Sf_search.Runner.to_target with
       | Some r -> Sf_stats.Summary.add_int to_target r
       | None -> incr timeouts);
-      match outcome.Sf_search.Runner.to_neighbor with
+      (match outcome.Sf_search.Runner.to_neighbor with
       | Some r -> Sf_stats.Summary.add_int to_neighbor r
-      | None -> ()
+      | None -> ());
+      Option.iter
+        (fun pr ->
+          Sf_obs.Progress.step pr
+            ~detail:
+              (Printf.sprintf "%d requests" outcome.Sf_search.Runner.total_requests))
+        progress
     done);
+    Option.iter Sf_obs.Progress.finish progress;
     Printf.printf "trials: %d (timeouts: %d)\n" trials !timeouts;
     if Sf_stats.Summary.count to_target > 0 then
       Printf.printf "requests to target:    mean %.1f  (min %.0f, max %.0f)\n"
@@ -105,24 +119,13 @@ let run model n p m alpha exponent strategy_name source target trials budget see
       Printf.printf "Theorem 1 bound for this instance: >= %.1f expected requests\n"
         bound.Sf_core.Lower_bound.requests
     end;
-    (match metrics with
-    | Some path -> (
-      try
-        Sf_obs.Export.write_manifest
-          ~extra:
-            [
-              ("strategy", Sf_obs.Export.json_string strategy.Sf_search.Strategy.name);
-              ("n", string_of_int n_vertices);
-              ("trials", string_of_int trials);
-            ]
-          ~tool:"sfsearch" ~seed ~mode:model ~path ();
-        Printf.printf "wrote run manifest to %s (%d metrics)\n" path
-          (List.length (Sf_obs.Registry.names ()));
-        0
-      with Sys_error msg ->
-        Printf.eprintf "cannot write run manifest: %s\n" msg;
-        1)
-    | None -> 0)
+    extra :=
+      [
+        ("strategy", Sf_obs.Export.json_string strategy.Sf_search.Strategy.name);
+        ("n", string_of_int n_vertices);
+        ("trials", string_of_int trials);
+      ];
+    0
 
 let model_arg = Arg.(value & opt string "mori" & info [ "model" ] ~doc:"mori | cooper-frieze | config")
 let n_arg = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Target vertex / problem size")
@@ -139,10 +142,6 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
 let graph_arg = Arg.(value & opt (some string) None & info [ "graph" ] ~doc:"Load an edge-list file instead of generating")
 let trace_csv_arg =
   Arg.(value & opt (some string) None & info [ "trace-csv" ] ~doc:"Write the first trial's request trace to this CSV file")
-let metrics_arg =
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc:"Write an obs.json run manifest to this file")
-let no_obs_arg =
-  Arg.(value & flag & info [ "no-obs" ] ~doc:"Disable all instrumentation (counters, timers, spans)")
 
 let cmd =
   let doc = "run local-knowledge searches against the paper's lower bounds" in
@@ -151,6 +150,6 @@ let cmd =
     Term.(
       const run $ model_arg $ n_arg $ p_arg $ m_arg $ alpha_arg $ exponent_arg $ strategy_arg
       $ source_arg $ target_arg $ trials_arg $ budget_arg $ seed_arg $ graph_arg
-      $ trace_csv_arg $ metrics_arg $ no_obs_arg)
+      $ trace_csv_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

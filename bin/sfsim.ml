@@ -15,7 +15,8 @@ let parse_latency s =
   | [ "exp"; mean ] -> Sf_sim.Network.Exponential (float_of_string mean)
   | _ -> failwith "latency: const:C | uniform:LO:HI | exp:MEAN"
 
-let run protocol_name n exponent ttl k q trials seed latency =
+let run protocol_name n exponent ttl k q trials seed latency (obs : Obs_cli.t) =
+  Obs_cli.with_session obs ~tool:"sfsim" ~seed ~mode:protocol_name @@ fun () ->
   let rng = Sf_prng.Rng.of_seed seed in
   let protocol =
     match protocol_name with
@@ -34,6 +35,11 @@ let run protocol_name n exponent ttl k q trials seed latency =
   let messages = Sf_stats.Summary.create () in
   let contacted = Sf_stats.Summary.create () in
   let times = Sf_stats.Summary.create () in
+  let progress =
+    if obs.Obs_cli.progress then
+      Some (Sf_obs.Progress.create ~label:"queries" ~total:trials ())
+    else None
+  in
   for trial = 1 to trials do
     let trial_rng = Sf_prng.Rng.split_at rng trial in
     let source = 1 + Sf_prng.Rng.int trial_rng n' in
@@ -49,8 +55,13 @@ let run protocol_name n exponent ttl k q trials seed latency =
         incr hits;
         Option.iter (Sf_stats.Summary.add times) res.Sf_sim.Query_sim.hit_time
       end
-    end
+    end;
+    Option.iter
+      (fun pr ->
+        Sf_obs.Progress.step pr ~detail:(Printf.sprintf "%d hits" !hits))
+      progress
   done;
+  Option.iter Sf_obs.Progress.finish progress;
   Printf.printf "trials:          %d\n" trials;
   Printf.printf "hit rate:        %.2f\n" (float_of_int !hits /. float_of_int trials);
   Printf.printf "mean messages:   %.0f (max %.0f)\n" (Sf_stats.Summary.mean messages)
@@ -82,6 +93,6 @@ let cmd =
   Cmd.v (Cmd.info "sfsim" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ exponent_arg $ ttl_arg $ k_arg $ q_arg $ trials_arg
-      $ seed_arg $ latency_arg)
+      $ seed_arg $ latency_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

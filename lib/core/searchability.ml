@@ -58,10 +58,22 @@ let measure master ~make ~strategies ~sizes ~spec =
           let summary = Sf_stats.Summary.create () in
           let costs = Array.make spec.trials 0. in
           let timeouts = ref 0 and gave_up = ref 0 in
+          (* Trace events, not Span.with_span: thousands of trials
+             would bloat the manifest's span forest, while the stream
+             costs nothing with no sink attached. *)
+          let tracing = Sf_obs.Trace.active () in
           for trial = 0 to spec.trials - 1 do
             (* A unique, order-independent stream per cell and trial. *)
             let key = (((size_idx * 97) + strat_idx) * 65_537) + trial in
             let rng = Rng.split_at master key in
+            if tracing then
+              Sf_obs.Trace.emit "search.trial" Sf_obs.Trace.Begin
+                ~args:
+                  [
+                    ("n", Sf_obs.Trace.Int n);
+                    ("strategy", Sf_obs.Trace.Str strategy.Strategy.name);
+                    ("trial", Sf_obs.Trace.Int trial);
+                  ];
             let g, target = make rng n in
             let source = pick_source rng spec g target in
             let stop_at =
@@ -76,6 +88,14 @@ let measure master ~make ~strategies ~sizes ~spec =
             let cost, truncated = trial_cost spec outcome in
             if truncated then incr timeouts;
             if outcome.Runner.gave_up then incr gave_up;
+            if tracing then
+              Sf_obs.Trace.emit "search.trial" Sf_obs.Trace.End
+                ~args:
+                  [
+                    ("cost", Sf_obs.Trace.Float cost);
+                    ("truncated", Sf_obs.Trace.Bool truncated);
+                    ("gave_up", Sf_obs.Trace.Bool outcome.Runner.gave_up);
+                  ];
             Sf_stats.Summary.add summary cost;
             costs.(trial) <- cost
           done;

@@ -15,7 +15,23 @@ let traced e =
     run =
       (fun ~quick ~seed ->
         if Sf_obs.Registry.enabled () then Sf_obs.Counter.incr obs_runs;
-        Sf_obs.Span.with_span ("exp." ^ e.id) (fun () -> e.run ~quick ~seed));
+        let result =
+          Sf_obs.Span.with_span ("exp." ^ e.id) (fun () -> e.run ~quick ~seed)
+        in
+        if Sf_obs.Trace.active () then begin
+          let checks = List.length result.Exp.checks in
+          let failed =
+            List.length (List.filter (fun (_, pass) -> not pass) result.Exp.checks)
+          in
+          Sf_obs.Trace.instant "exp.done"
+            ~args:
+              [
+                ("id", Sf_obs.Trace.Str e.id);
+                ("checks", Sf_obs.Trace.Int checks);
+                ("failed", Sf_obs.Trace.Int failed);
+              ]
+        end;
+        result);
   }
 
 let all =

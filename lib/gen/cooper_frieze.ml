@@ -139,13 +139,39 @@ let check params =
 let timed_build f =
   if Sf_obs.Registry.enabled () then Sf_obs.Timer.time obs_build_timer f else f ()
 
+let checkpoint st =
+  Sf_obs.Trace.instant "gen.cf.checkpoint"
+    ~args:
+      [
+        ("vertices", Sf_obs.Trace.Int (Digraph.n_vertices st.g));
+        ("edges", Sf_obs.Trace.Int (Digraph.n_edges st.g));
+      ]
+
+(* the grow span plus at most ~8 checkpoints per build, as for Mori *)
+let traced_build ~target f =
+  let tracing = Sf_obs.Trace.active () in
+  if tracing then
+    Sf_obs.Trace.emit "gen.cf.grow" Sf_obs.Trace.Begin
+      ~args:[ ("target", Sf_obs.Trace.Int target) ];
+  let g = timed_build (f ~tracing) in
+  if tracing then
+    Sf_obs.Trace.emit "gen.cf.grow" Sf_obs.Trace.End
+      ~args:
+        [
+          ("vertices", Sf_obs.Trace.Int (Digraph.n_vertices g));
+          ("edges", Sf_obs.Trace.Int (Digraph.n_edges g));
+        ];
+  g
+
 let generate rng params ~steps =
   check params;
   if steps < 0 then invalid_arg "Cooper_frieze.generate: steps must be non-negative";
-  timed_build (fun () ->
+  traced_build ~target:steps (fun ~tracing () ->
       let st = initial params.preference in
-      for _ = 1 to steps do
-        step st rng params
+      let every = max 1 (steps / 8) in
+      for k = 1 to steps do
+        step st rng params;
+        if tracing && k mod every = 0 then checkpoint st
       done;
       st.g)
 
@@ -153,10 +179,16 @@ let generate_n_vertices rng params ~n =
   check params;
   if n < 1 then invalid_arg "Cooper_frieze.generate_n_vertices: need n >= 1";
   if params.alpha <= 0. then invalid_arg "Cooper_frieze.generate_n_vertices: alpha must be positive";
-  timed_build (fun () ->
+  traced_build ~target:n (fun ~tracing () ->
       let st = initial params.preference in
+      let every = max 1 (n / 8) in
+      let next = ref every in
       while Digraph.n_vertices st.g < n do
-        step st rng params
+        step st rng params;
+        if tracing && Digraph.n_vertices st.g >= !next then begin
+          checkpoint st;
+          next := !next + every
+        end
       done;
       st.g)
 

@@ -24,6 +24,13 @@ let check_params ~p ~t =
 let grow rng ~p ~t ~restrict =
   let obs = Sf_obs.Registry.enabled () in
   if obs then Sf_obs.Timer.start obs_build_timer;
+  let tracing = Sf_obs.Trace.active () in
+  (* at most 8 growth checkpoints per build, so tracing a microbench
+     full of small builds stays proportionate *)
+  let checkpoint_every = max 1 (t / 8) in
+  if tracing then
+    Sf_obs.Trace.emit "gen.mori.grow" Sf_obs.Trace.Begin
+      ~args:[ ("t", Sf_obs.Trace.Int t); ("p", Sf_obs.Trace.Float p) ];
   let g = Digraph.create ~expected_vertices:t () in
   Digraph.add_vertices g 2;
   ignore (Digraph.add_edge g ~src:2 ~dst:1);
@@ -55,8 +62,16 @@ let grow rng ~p ~t ~restrict =
     let v = Digraph.add_vertex g in
     ignore (Digraph.add_edge g ~src:v ~dst:father);
     if obs then Sf_obs.Histo.observe_int obs_father_age father;
+    if tracing && k mod checkpoint_every = 0 then
+      Sf_obs.Trace.instant "gen.mori.checkpoint"
+        ~args:
+          [
+            ("vertices", Sf_obs.Trace.Int k);
+            ("last_father", Sf_obs.Trace.Int father);
+          ];
     Vec.push dsts father
   done;
+  if tracing then Sf_obs.Trace.emit "gen.mori.grow" Sf_obs.Trace.End;
   if obs then begin
     Sf_obs.Counter.add obs_vertices t;
     Sf_obs.Timer.stop obs_build_timer

@@ -122,6 +122,19 @@ let write_manifest ?extra ~tool ~seed ~mode ~path () =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (manifest_json ?extra ~tool ~seed ~mode ()))
 
+let write_manifest_checked ?extra ~tool ~seed ~mode ~path () =
+  if not (Registry.enabled ()) then begin
+    Printf.eprintf
+      "%s: observability is disabled (--no-obs); not writing the run manifest to %s\n%!" tool
+      path;
+    `Skipped_disabled
+  end
+  else
+    try
+      write_manifest ?extra ~tool ~seed ~mode ~path ();
+      `Written
+    with Sys_error msg -> `Error msg
+
 (* --- reading manifests back (the baseline shape check) ------------- *)
 
 (* Scan a JSON document for the keys of the object bound to "metrics":

@@ -47,6 +47,20 @@ val write_manifest :
   unit
 (** {!manifest_json} written to [path] (truncating). *)
 
+val write_manifest_checked :
+  ?extra:(string * string) list ->
+  tool:string ->
+  seed:int ->
+  mode:string ->
+  path:string ->
+  unit ->
+  [ `Written | `Skipped_disabled | `Error of string ]
+(** The harness entry point behind [--metrics FILE]. When the registry
+    is disabled ([--no-obs]) the manifest would be a near-empty husk —
+    every value zero — so instead of writing one this warns on stderr
+    and returns [`Skipped_disabled]. I/O failures come back as
+    [`Error] rather than raising. *)
+
 val json_string : string -> string
 (** Escape and quote one string — for building [extra] values. *)
 

@@ -1,0 +1,15 @@
+(** The GC/runtime sampler: minor/major collection counts, major-heap
+    words and cumulative minor-word allocation as registry gauges
+    ([gc.minor_collections], [gc.major_collections], [gc.heap_words],
+    [gc.minor_words]), refreshed from [Gc.quick_stat] — no heap walk.
+
+    {!Span} calls {!sample} at every span boundary, so any run with
+    spans (all harnesses) carries final runtime figures in its
+    manifest, and a traced run additionally gets [gc.*] counter-sample
+    events rendering as counter tracks in Perfetto, aligned with the
+    span slices that caused the allocation. *)
+
+val sample : unit -> unit
+(** Refresh the four gauges; additionally emit one trace counter
+    sample per collection/heap gauge when the stream is
+    {!Trace.active}. A no-op when the registry is disabled. *)

@@ -8,6 +8,8 @@ let stack : open_span list ref = ref []
 let completed_roots : t list ref = ref []
 
 let enter name =
+  Gc_sample.sample ();
+  Trace.emit name Trace.Begin;
   stack := { o_name = name; o_start = Timer.now_s (); o_kids = [] } :: !stack
 
 let leave () =
@@ -24,7 +26,9 @@ let leave () =
     in
     (match rest with
     | [] -> completed_roots := span :: !completed_roots
-    | parent :: _ -> parent.o_kids <- span :: parent.o_kids)
+    | parent :: _ -> parent.o_kids <- span :: parent.o_kids);
+    Trace.emit o.o_name Trace.End;
+    Gc_sample.sample ()
 
 let with_span name f =
   if not (Registry.enabled ()) then f ()

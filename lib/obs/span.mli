@@ -12,7 +12,12 @@
     {!with_span} wherever possible; it is exception-safe. When the
     registry is disabled ({!Registry.set_enabled}[ false]),
     {!with_span} runs its body without touching the clock or
-    allocating. *)
+    allocating.
+
+    Span boundaries feed the wider observability layer: each
+    {!enter}/{!leave} emits a [Begin]/[End] event to the {!Trace}
+    stream (rendered as nested slices by the Perfetto exporter) and
+    refreshes the {!Gc_sample} runtime gauges. *)
 
 type t
 (** A {e completed} span. *)

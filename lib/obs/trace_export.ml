@@ -1,0 +1,148 @@
+(* Trace sinks: the streaming JSONL form (one object per line, written
+   as events arrive) and the Chrome trace-event / Perfetto form
+   (buffered, written on close as a {"traceEvents": [...]} document
+   loadable in ui.perfetto.dev).  JSON is rendered by hand, as for
+   manifests (Export). *)
+
+let args_json args =
+  let arg_json = function
+    | Trace.Int i -> string_of_int i
+    | Trace.Float f -> Export.json_float f
+    | Trace.Str s -> Export.json_string s
+    | Trace.Bool b -> string_of_bool b
+    | Trace.Ints l -> "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+  in
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Export.json_string k ^ ":" ^ arg_json v) args)
+  ^ "}"
+
+(* --- JSONL ---------------------------------------------------------- *)
+
+let event_jsonl (e : Trace.event) =
+  let value = match e.kind with Trace.Counter v -> Printf.sprintf ",\"value\":%s" (Export.json_float v) | _ -> "" in
+  let args = if e.args = [] then "" else ",\"args\":" ^ args_json e.args in
+  Printf.sprintf {|{"seq":%d,"ts":%s,"ph":%s,"name":%s%s%s}|} e.seq
+    (Export.json_float e.ts)
+    (Export.json_string (Trace.kind_tag e.kind))
+    (Export.json_string e.name)
+    value args
+
+let jsonl_sink ?(close = fun () -> ()) oc =
+  {
+    Trace.descr = "jsonl";
+    emit =
+      (fun e ->
+        output_string oc (event_jsonl e);
+        output_char oc '\n');
+    close =
+      (fun () ->
+        flush oc;
+        close ());
+  }
+
+let jsonl_file path =
+  let oc = open_out path in
+  jsonl_sink ~close:(fun () -> close_out oc) oc
+
+(* --- Chrome trace-event / Perfetto ---------------------------------- *)
+
+(* Timestamps are microseconds relative to the first event.  Begin/End
+   pairs become one complete ("ph":"X") slice each, matched by the
+   nesting stack the single-threaded harness guarantees; instants and
+   counters pass through as "i" and "C" records. *)
+
+type renderer = {
+  buf : Buffer.t;
+  mutable t0 : float option;
+  mutable last_us : float;
+  mutable open_spans : (string * float * (string * Trace.arg) list) list;
+  mutable n_records : int;
+}
+
+let renderer () = { buf = Buffer.create 4096; t0 = None; last_us = 0.; open_spans = []; n_records = 0 }
+
+let add_record r fields =
+  if r.n_records > 0 then Buffer.add_char r.buf ',';
+  Buffer.add_char r.buf '{';
+  Buffer.add_string r.buf (String.concat "," fields);
+  Buffer.add_char r.buf '}';
+  r.n_records <- r.n_records + 1
+
+let complete_slice r ~name ~ts_us ~dur_us ~args =
+  add_record r
+    [
+      Printf.sprintf {|"name":%s|} (Export.json_string name);
+      {|"ph":"X"|};
+      Printf.sprintf {|"ts":%.3f|} ts_us;
+      Printf.sprintf {|"dur":%.3f|} dur_us;
+      {|"pid":1|};
+      {|"tid":1|};
+      Printf.sprintf {|"args":%s|} (args_json args);
+    ]
+
+let feed r (e : Trace.event) =
+  let t0 = match r.t0 with Some t0 -> t0 | None -> r.t0 <- Some e.ts; e.ts in
+  let ts_us = Float.max 0. ((e.ts -. t0) *. 1e6) in
+  r.last_us <- Float.max r.last_us ts_us;
+  match e.kind with
+  | Trace.Begin -> r.open_spans <- (e.name, ts_us, e.args) :: r.open_spans
+  | Trace.End -> (
+    match r.open_spans with
+    | [] -> () (* unmatched End: dropped, as Span.leave ignores it *)
+    | (name, t_begin, args) :: rest ->
+      r.open_spans <- rest;
+      complete_slice r ~name ~ts_us:t_begin ~dur_us:(Float.max 0. (ts_us -. t_begin))
+        ~args:(args @ e.args))
+  | Trace.Instant ->
+    add_record r
+      [
+        Printf.sprintf {|"name":%s|} (Export.json_string e.name);
+        {|"ph":"i"|};
+        Printf.sprintf {|"ts":%.3f|} ts_us;
+        {|"pid":1|};
+        {|"tid":1|};
+        {|"s":"t"|};
+        Printf.sprintf {|"args":%s|} (args_json e.args);
+      ]
+  | Trace.Counter v ->
+    add_record r
+      [
+        Printf.sprintf {|"name":%s|} (Export.json_string e.name);
+        {|"ph":"C"|};
+        Printf.sprintf {|"ts":%.3f|} ts_us;
+        {|"pid":1|};
+        Printf.sprintf {|"args":{"value":%s}|} (Export.json_float v);
+      ]
+
+let finish r =
+  (* a run that raised mid-span leaves Begins unmatched: close them at
+     the last seen timestamp so the slices still render *)
+  List.iter
+    (fun (name, t_begin, args) ->
+      complete_slice r ~name ~ts_us:t_begin ~dur_us:(Float.max 0. (r.last_us -. t_begin)) ~args)
+    r.open_spans;
+  r.open_spans <- [];
+  Printf.sprintf {|{"traceEvents":[%s],"displayTimeUnit":"ms"}|} (Buffer.contents r.buf)
+  ^ "\n"
+
+let perfetto_json events =
+  let r = renderer () in
+  List.iter (feed r) events;
+  finish r
+
+let perfetto_sink write =
+  let r = renderer () in
+  { Trace.descr = "perfetto"; emit = feed r; close = (fun () -> write (finish r)) }
+
+let perfetto_file path =
+  perfetto_sink (fun doc ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc))
+
+(* --- file-extension dispatch ---------------------------------------- *)
+
+let sink_for_path path =
+  if Filename.check_suffix path ".jsonl" then jsonl_file path else perfetto_file path
+
+let attach_file path = Trace.attach (sink_for_path path)

@@ -1,0 +1,48 @@
+(** Trace sinks that persist the event stream: a streaming JSONL form
+    and the Chrome trace-event / Perfetto JSON form.
+
+    {b JSONL} writes one JSON object per event as it arrives — the
+    form to tail, grep, or feed to external analysis; nothing is
+    buffered beyond the channel.
+
+    {b Perfetto} buffers rendered records and writes one
+    [{"traceEvents": [...]}] document on close, loadable directly in
+    {{:https://ui.perfetto.dev}ui.perfetto.dev} (or
+    [chrome://tracing]). [Begin]/[End] pairs are matched by nesting
+    into complete ([{"ph":"X"}]) slices, instants become ["i"] and
+    counter samples ["C"] records; timestamps are microseconds
+    relative to the first event. A run that raised mid-span has its
+    unmatched [Begin]s closed at the last seen timestamp.
+
+    The harnesses pick the form from the [--trace FILE] extension:
+    [.jsonl] streams, anything else (canonically [.json]) is
+    Perfetto. *)
+
+val event_jsonl : Trace.event -> string
+(** One event as a single-line JSON object:
+    [{"seq", "ts", "ph", "name", "value"?, "args"?}]. *)
+
+val jsonl_sink : ?close:(unit -> unit) -> out_channel -> Trace.sink
+(** Stream events to an open channel, one line each; [close] runs
+    after the final flush. The channel is not closed unless [close]
+    does so. *)
+
+val jsonl_file : string -> Trace.sink
+(** {!jsonl_sink} on a fresh file (truncating); detaching closes it. *)
+
+val perfetto_json : Trace.event list -> string
+(** Pure rendering of an event list (e.g. a {!Flight} buffer) as a
+    complete trace-event document. *)
+
+val perfetto_sink : (string -> unit) -> Trace.sink
+(** Buffering Perfetto sink; the callback receives the finished
+    document exactly once, on detach. *)
+
+val perfetto_file : string -> Trace.sink
+(** {!perfetto_sink} writing to [path] on detach (truncating). *)
+
+val sink_for_path : string -> Trace.sink
+(** [.jsonl] → {!jsonl_file}, anything else → {!perfetto_file}. *)
+
+val attach_file : string -> Trace.id
+(** [Trace.attach (sink_for_path path)] — the [--trace FILE] flag. *)

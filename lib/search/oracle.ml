@@ -11,6 +11,11 @@ let obs_requests_strong = Sf_obs.Registry.counter "search.requests.strong"
 let obs_discoveries = Sf_obs.Registry.counter "search.discoveries"
 let obs_oracles = Sf_obs.Registry.counter "search.oracles"
 
+(* One "search.request" trace event per paid request — the paper's
+   complexity measure as a sequence rather than a count.  Runner's
+   run_traced and the --trace exporters are both fed from here. *)
+let request_event_name = "search.request"
+
 type vertex = int
 type handle = int
 type model = Weak | Strong
@@ -129,6 +134,19 @@ let endpoints_if_known t h =
   let s, d = Ugraph.endpoints t.g real in
   if t.discovered.(s - 1) && t.discovered.(d - 1) then Some (s, d) else None
 
+let trace_request t ~kind ~at ~before =
+  let after = Vec.length t.order in
+  let revealed = List.init (after - before) (fun i -> Vec.get t.order (before + i)) in
+  Sf_obs.Trace.emit request_event_name Sf_obs.Trace.Instant
+    ~args:
+      [
+        ("index", Sf_obs.Trace.Int t.request_count);
+        ("kind", Sf_obs.Trace.Str kind);
+        ("at", Sf_obs.Trace.Int at);
+        ("revealed", Sf_obs.Trace.Ints revealed);
+        ("discovered_total", Sf_obs.Trace.Int after);
+      ]
+
 let request_weak t ~owner h =
   if t.model <> Weak then invalid_arg "Oracle.request_weak: not a weak-model instance";
   check_discovered t owner "request_weak";
@@ -138,9 +156,12 @@ let request_weak t ~owner h =
     Sf_obs.Counter.incr obs_requests;
     Sf_obs.Counter.incr obs_requests_weak
   end;
+  let tracing = Sf_obs.Trace.active () in
+  let before = if tracing then Vec.length t.order else 0 in
   t.request_count <- t.request_count + 1;
   Hashtbl.replace t.requested h ();
   discover ~via:owner t far;
+  if tracing then trace_request t ~kind:"weak-edge" ~at:owner ~before;
   far
 
 let request_strong t v =
@@ -150,6 +171,8 @@ let request_strong t v =
     Sf_obs.Counter.incr obs_requests;
     Sf_obs.Counter.incr obs_requests_strong
   end;
+  let tracing = Sf_obs.Trace.active () in
+  let before = if tracing then Vec.length t.order else 0 in
   t.request_count <- t.request_count + 1;
   t.explored.(v - 1) <- true;
   let seen = Hashtbl.create 8 in
@@ -160,6 +183,7 @@ let request_strong t v =
         Hashtbl.replace seen u ();
         acc := u :: !acc
       end);
+  if tracing then trace_request t ~kind:"strong-vertex" ~at:v ~before;
   List.rev !acc
 
 let is_explored t v =

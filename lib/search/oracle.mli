@@ -123,6 +123,19 @@ val discovery_path : t -> vertex -> vertex list
     deliverable the paper's searcher owes.
     @raise Invalid_argument if undiscovered. *)
 
+(** {1 The request event}
+
+    Every paid request additionally emits one event named
+    {!request_event_name} on the {!Sf_obs.Trace} stream (when a sink
+    is attached and the registry enabled): the paper's complexity
+    measure as a {e sequence}. Args: [index] (1-based request number),
+    [kind] (["weak-edge"] | ["strong-vertex"]), [at] (the vertex the
+    request addressed), [revealed] (vertices newly discovered, in
+    discovery order), [discovered_total] (count after the request). *)
+
+val request_event_name : string
+(** ["search.request"]. *)
+
 (** {1 Scoring — for the runner, not for strategies} *)
 
 val target_found : t -> bool

@@ -1,6 +1,7 @@
-(* Observability: per-run aggregates; per-request counting lives in
-   Oracle. Strategy names may contain characters the metric grammar
-   rejects ('+', parentheses), so they are sanitised. *)
+(* Observability: per-run aggregates; per-request counting and the
+   per-request "search.request" trace events live in Oracle. Strategy
+   names may contain characters the metric grammar rejects ('+',
+   parentheses), so they are sanitised. *)
 let obs_runs = Sf_obs.Registry.counter "search.runs"
 let obs_gave_up = Sf_obs.Registry.counter "search.gave_up"
 let obs_budget_exhausted = Sf_obs.Registry.counter "search.budget_exhausted"
@@ -38,7 +39,7 @@ type trace_event = {
   discovered_total : int;
 }
 
-let run_general ?budget ?(stop_at = At_target) ~rng ?on_event (strategy : Strategy.t) oracle =
+let run ?budget ?(stop_at = At_target) ~rng (strategy : Strategy.t) oracle =
   if strategy.Strategy.model <> Oracle.model oracle then
     invalid_arg "Runner.run: strategy and oracle use different knowledge models";
   let budget =
@@ -47,40 +48,25 @@ let run_general ?budget ?(stop_at = At_target) ~rng ?on_event (strategy : Strate
   let stepper = strategy.Strategy.prepare (Sf_prng.Rng.split rng) oracle in
   let gave_up = ref false in
   let continue = ref true in
-  let record kind at before =
-    match on_event with
-    | None -> ()
-    | Some f ->
-      let after = Oracle.discovered_count oracle in
-      let revealed =
-        List.init (after - before) (fun i -> Oracle.discovered_nth oracle (before + i))
-      in
-      f
-        {
-          index = Oracle.requests oracle;
-          kind;
-          at;
-          revealed;
-          discovered_total = after;
-        }
-  in
   let requests_before = Oracle.requests oracle in
   let obs = Sf_obs.Registry.enabled () in
   if obs then Sf_obs.Timer.start obs_run_timer;
   while !continue && (not (stopped stop_at oracle)) && Oracle.requests oracle < budget do
     match stepper () with
-    | Strategy.Request_edge (owner, h) ->
-      let before = Oracle.discovered_count oracle in
-      ignore (Oracle.request_weak oracle ~owner h);
-      record `Weak_edge owner before
-    | Strategy.Request_vertex v ->
-      let before = Oracle.discovered_count oracle in
-      ignore (Oracle.request_strong oracle v);
-      record `Strong_vertex v before
+    | Strategy.Request_edge (owner, h) -> ignore (Oracle.request_weak oracle ~owner h)
+    | Strategy.Request_vertex v -> ignore (Oracle.request_strong oracle v)
     | Strategy.Give_up ->
       gave_up := true;
       continue := false
   done;
+  if !gave_up then
+    Sf_obs.Trace.instant "search.gave_up"
+      ~args:
+        [
+          ("strategy", Sf_obs.Trace.Str strategy.Strategy.name);
+          ("requests", Sf_obs.Trace.Int (Oracle.requests oracle - requests_before));
+          ("discovered", Sf_obs.Trace.Int (Oracle.discovered_count oracle));
+        ];
   if obs then begin
     Sf_obs.Timer.stop obs_run_timer;
     let paid = Oracle.requests oracle - requests_before in
@@ -104,16 +90,51 @@ let run_general ?budget ?(stop_at = At_target) ~rng ?on_event (strategy : Strate
     gave_up = !gave_up;
   }
 
-let run ?budget ?stop_at ~rng strategy oracle =
-  run_general ?budget ?stop_at ~rng strategy oracle
+(* run_traced replays the oracle's "search.request" stream events back
+   into the record shape the CSV exporter renders: a temporary
+   collector sink, attached for exactly the duration of the run. *)
+
+let trace_event_of_stream (e : Sf_obs.Trace.event) =
+  let int key =
+    match List.assoc_opt key e.Sf_obs.Trace.args with Some (Sf_obs.Trace.Int i) -> i | _ -> 0
+  in
+  let kind =
+    match List.assoc_opt "kind" e.Sf_obs.Trace.args with
+    | Some (Sf_obs.Trace.Str "strong-vertex") -> `Strong_vertex
+    | _ -> `Weak_edge
+  in
+  let revealed =
+    match List.assoc_opt "revealed" e.Sf_obs.Trace.args with
+    | Some (Sf_obs.Trace.Ints l) -> l
+    | _ -> []
+  in
+  {
+    index = int "index";
+    kind;
+    at = int "at";
+    revealed;
+    discovered_total = int "discovered_total";
+  }
 
 let run_traced ?budget ?stop_at ~rng strategy oracle =
-  let events = ref [] in
-  let outcome =
-    run_general ?budget ?stop_at ~rng ~on_event:(fun e -> events := e :: !events) strategy
-      oracle
+  let collected = ref [] in
+  let id =
+    Sf_obs.Trace.attach
+      {
+        Sf_obs.Trace.descr = "runner.run_traced";
+        emit =
+          (fun e ->
+            if e.Sf_obs.Trace.name = Oracle.request_event_name then
+              collected := e :: !collected);
+        close = (fun () -> ());
+      }
   in
-  (outcome, List.rev !events)
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Sf_obs.Trace.detach id)
+      (fun () -> run ?budget ?stop_at ~rng strategy oracle)
+  in
+  (outcome, List.rev_map trace_event_of_stream !collected)
 
 let trace_to_csv events =
   Sf_stats.Csv.to_string

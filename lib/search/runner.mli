@@ -35,7 +35,13 @@ val run :
 (** {1 Traced runs}
 
     For debugging strategies and exporting to external analysis: the
-    same execution, but recording one event per request. *)
+    same execution, with the request-by-request record replayed off
+    the unified {!Sf_obs.Trace} stream (the oracle emits one
+    ["search.request"] event per paid request; a traced run attaches a
+    private collector sink for its duration). Consequently a traced
+    run under [--no-obs] ({!Sf_obs.Registry.set_enabled}[ false])
+    returns an {e empty} trace — the stream is silenced along with
+    every other instrumentation site. *)
 
 type trace_event = {
   index : int; (** 1-based request number *)

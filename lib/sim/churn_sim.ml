@@ -50,6 +50,14 @@ let alive_at l v t =
   while l.next_flip.(i) <= t do
     if Sf_obs.Registry.enabled () then Sf_obs.Counter.incr obs_flips;
     l.state.(i) <- not l.state.(i);
+    if Sf_obs.Trace.active () then
+      Sf_obs.Trace.instant "sim.churn.flip"
+        ~args:
+          [
+            ("node", Sf_obs.Trace.Int v);
+            ("at", Sf_obs.Trace.Float l.next_flip.(i));
+            ("up", Sf_obs.Trace.Bool l.state.(i));
+          ];
     let mean = if l.state.(i) then l.churn.mean_up else l.churn.mean_down in
     l.next_flip.(i) <- l.next_flip.(i) +. Sf_prng.Dist.exponential l.rng ~rate:(1. /. mean)
   done;

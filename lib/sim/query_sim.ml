@@ -38,6 +38,16 @@ let validate_protocol = function
     if q < 0. || q > 1. then invalid_arg "Query_sim: q outside [0, 1]";
     if ttl < 0 then invalid_arg "Query_sim: negative TTL"
 
+let protocol_label = function
+  | Flood { ttl } -> Printf.sprintf "flood(ttl=%d)" ttl
+  | K_walkers { k; ttl } -> Printf.sprintf "%d-walkers(ttl=%d)" k ttl
+  | Percolation { q; ttl } -> Printf.sprintf "percolation(q=%g,ttl=%d)" q ttl
+
+let kind_label = function
+  | Flood_msg -> "flood"
+  | Walker -> "walker"
+  | Percolation_msg -> "percolation"
+
 let single_target net v =
   let holders = Array.make (Network.n_nodes net) false in
   if v < 1 || v > Network.n_nodes net then invalid_arg "Query_sim.single_target: bad node";
@@ -51,6 +61,17 @@ let query ?max_messages ?(alive = fun _ _ -> true) ~rng net protocol ~source ~ho
   if source < 1 || source > n then invalid_arg "Query_sim.query: bad source";
   if Array.length holders <> n then invalid_arg "Query_sim.query: holder array size mismatch";
   let max_messages = Option.value ~default:(64 * n) max_messages in
+  (* cached once: the trace stream's activity cannot change mid-query,
+     and the hot paths below fire once per message *)
+  let tr = Sf_obs.Trace.active () in
+  if tr then
+    Sf_obs.Trace.emit "sim.query" Sf_obs.Trace.Begin
+      ~args:
+        [
+          ("protocol", Sf_obs.Trace.Str (protocol_label protocol));
+          ("source", Sf_obs.Trace.Int source);
+          ("nodes", Sf_obs.Trace.Int n);
+        ];
   let queue = Event_queue.create () in
   let seen = Array.make n false in
   (* duplicate suppression for the spreading protocols: a node
@@ -73,6 +94,15 @@ let query ?max_messages ?(alive = fun _ _ -> true) ~rng net protocol ~source ~ho
   let send ~from ~dst ~ttl ~kind =
     if !messages < max_messages then begin
       incr messages;
+      if tr then
+        Sf_obs.Trace.instant "sim.enqueue"
+          ~args:
+            [
+              ("from", Sf_obs.Trace.Int from);
+              ("dst", Sf_obs.Trace.Int dst);
+              ("ttl", Sf_obs.Trace.Int ttl);
+              ("kind", Sf_obs.Trace.Str (kind_label kind));
+            ];
       Event_queue.schedule queue
         ~time:(!now +. Network.sample_latency net rng)
         { dst; from; ttl; kind }
@@ -123,8 +153,27 @@ let query ?max_messages ?(alive = fun _ _ -> true) ~rng net protocol ~source ~ho
     | None -> continue := false
     | Some (time, msg) ->
       now := time;
-      if not (alive msg.dst time) then incr dropped
+      if tr then
+        Sf_obs.Trace.counter "sim.queue_depth" (float_of_int (Event_queue.length queue));
+      if not (alive msg.dst time) then begin
+        incr dropped;
+        if tr then
+          Sf_obs.Trace.instant "sim.drop"
+            ~args:
+              [
+                ("dst", Sf_obs.Trace.Int msg.dst);
+                ("kind", Sf_obs.Trace.Str (kind_label msg.kind));
+              ]
+      end
       else begin
+      if tr then
+        Sf_obs.Trace.instant "sim.deliver"
+          ~args:
+            [
+              ("dst", Sf_obs.Trace.Int msg.dst);
+              ("ttl", Sf_obs.Trace.Int msg.ttl);
+              ("kind", Sf_obs.Trace.Str (kind_label msg.kind));
+            ];
       touch msg.dst;
       if !hit_time = None then begin
         match msg.kind with
@@ -145,6 +194,15 @@ let query ?max_messages ?(alive = fun _ _ -> true) ~rng net protocol ~source ~ho
       end
       end
   done;
+  if tr then
+    Sf_obs.Trace.emit "sim.query" Sf_obs.Trace.End
+      ~args:
+        [
+          ("hit", Sf_obs.Trace.Bool (!hit_time <> None));
+          ("messages", Sf_obs.Trace.Int !messages);
+          ("contacted", Sf_obs.Trace.Int !contacted);
+          ("dropped", Sf_obs.Trace.Int !dropped);
+        ];
   if obs then begin
     Sf_obs.Counter.incr obs_queries;
     Sf_obs.Counter.add obs_messages !messages;

@@ -11,4 +11,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
     ]

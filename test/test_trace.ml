@@ -1,0 +1,579 @@
+(* Tests for the structured event stream: sink fan-out and ordering,
+   the flight-recorder ring, the JSONL and Perfetto exporters (their
+   output must parse as JSON), GC sampling, progress reporting, the
+   stream-backed traced runs (pinned byte-for-byte against a golden
+   CSV digest), and the --no-obs kill switch.
+
+   The stream is process-global and shared with every instrumented
+   library, so each test attaches its sinks inside Fun.protect and
+   detaches them before returning — a leaked sink would make every
+   other suite pay for event construction. *)
+
+module Trace = Sf_obs.Trace
+module Flight = Sf_obs.Flight
+module Trace_export = Sf_obs.Trace_export
+module Registry = Sf_obs.Registry
+module Runner = Sf_search.Runner
+module Oracle = Sf_search.Oracle
+module Strategies = Sf_search.Strategies
+module Rng = Sf_prng.Rng
+module Ugraph = Sf_graph.Ugraph
+
+let with_sink sink body =
+  let id = Trace.attach sink in
+  Fun.protect ~finally:(fun () -> Trace.detach id) body
+
+let collector acc =
+  { Trace.descr = "test-collector"; emit = (fun e -> acc := e :: !acc); close = ignore }
+
+(* --- a minimal JSON reader ---------------------------------------------
+
+   Enough of RFC 8259 to validate what the exporters emit (objects,
+   arrays, strings with escapes, numbers, booleans, null). Failing to
+   parse raises, which fails the test — exactly the check we want:
+   "external tools can read this file". *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+        | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+          in
+          (* raw code point is fine for validation purposes *)
+          Buffer.add_char buf (Char.chr (code land 0x7f));
+          pos := !pos + 4;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when number_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J_obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        J_obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J_arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        J_arr (elements [])
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let obj_field name = function
+  | J_obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let str_field name j =
+  match obj_field name j with Some (J_str s) -> Some s | _ -> None
+
+(* --- the stream --------------------------------------------------------- *)
+
+let test_emit_fanout_and_ordering () =
+  let a = ref [] and b = ref [] in
+  with_sink (collector a) (fun () ->
+      with_sink (collector b) (fun () ->
+          Alcotest.(check bool) "stream active with sinks" true (Trace.active ());
+          Trace.instant "test.trace.one";
+          Trace.instant "test.trace.two" ~args:[ ("k", Trace.Int 7) ];
+          Trace.counter "test.trace.depth" 3.));
+  Alcotest.(check int) "first sink saw all three" 3 (List.length !a);
+  Alcotest.(check int) "second sink saw all three" 3 (List.length !b);
+  let names evs = List.rev_map (fun e -> e.Trace.name) evs in
+  Alcotest.(check (list string))
+    "same events in the same order" (names !a) (names !b);
+  let seqs = List.rev_map (fun e -> e.Trace.seq) !a in
+  Alcotest.(check bool) "sequence numbers strictly increase" true
+    (List.sort compare seqs = seqs && List.sort_uniq compare seqs = seqs);
+  let ts = List.rev_map (fun e -> e.Trace.ts) !a in
+  Alcotest.(check bool) "timestamps non-decreasing" true
+    (List.sort compare ts = ts)
+
+let test_inactive_without_sinks () =
+  Alcotest.(check int) "no sinks attached between tests" 0 (Trace.attached ());
+  Alcotest.(check bool) "stream inactive without sinks" false (Trace.active ())
+
+let test_detach_closes_sink () =
+  let closed = ref false in
+  let id =
+    Trace.attach
+      { Trace.descr = "closing"; emit = ignore; close = (fun () -> closed := true) }
+  in
+  Trace.detach id;
+  Alcotest.(check bool) "close ran on detach" true !closed;
+  Trace.detach id;
+  Alcotest.(check bool) "unknown id ignored, close not re-run" true !closed
+
+let test_disabled_stream_emits_nothing () =
+  let acc = ref [] in
+  with_sink (collector acc) (fun () ->
+      Registry.set_enabled false;
+      Fun.protect
+        ~finally:(fun () -> Registry.set_enabled true)
+        (fun () ->
+          Alcotest.(check bool) "sink attached but stream inactive" false
+            (Trace.active ());
+          Trace.instant "test.trace.suppressed";
+          (* a whole search run: every instrumented site must stay silent *)
+          let rng = Rng.of_seed 12 in
+          let g = Ugraph.of_digraph (Sf_gen.Mori.tree rng ~p:0.5 ~t:150) in
+          ignore (Runner.search ~rng g Strategies.bfs ~source:1 ~target:150)));
+  Alcotest.(check int) "no events under --no-obs" 0 (List.length !acc)
+
+(* --- flight recorder ---------------------------------------------------- *)
+
+let test_flight_wraparound () =
+  let f = Flight.create ~capacity:4 () in
+  with_sink (Flight.sink f) (fun () ->
+      for i = 1 to 10 do
+        Trace.instant "test.trace.flight" ~args:[ ("i", Trace.Int i) ]
+      done);
+  Alcotest.(check int) "ring keeps capacity events" 4 (Flight.length f);
+  Alcotest.(check int) "all events were seen" 10 (Flight.seen f);
+  Alcotest.(check int) "overwritten count" 6 (Flight.dropped f);
+  let kept =
+    List.map
+      (fun e ->
+        match List.assoc "i" e.Trace.args with Trace.Int i -> i | _ -> -1)
+      (Flight.events f)
+  in
+  Alcotest.(check (list int)) "oldest-first, most recent retained" [ 7; 8; 9; 10 ] kept
+
+let test_flight_trigger_fires_once () =
+  let f = Flight.create ~capacity:8 () in
+  let fired = ref 0 in
+  Flight.arm f
+    ~trigger:(fun e -> e.Trace.name = "test.trace.boom")
+    ~action:(fun _ -> incr fired);
+  with_sink (Flight.sink f) (fun () ->
+      Trace.instant "test.trace.calm";
+      Alcotest.(check int) "not yet" 0 !fired;
+      Trace.instant "test.trace.boom";
+      Trace.instant "test.trace.boom";
+      Trace.instant "test.trace.boom");
+  Alcotest.(check int) "trigger disarms after the first hit" 1 !fired;
+  Alcotest.(check bool) "triggering event is retained" true
+    (List.exists (fun e -> e.Trace.name = "test.trace.boom") (Flight.events f))
+
+let test_flight_dump_renders_lines () =
+  let f = Flight.create ~capacity:4 () in
+  with_sink (Flight.sink f) (fun () ->
+      for i = 1 to 6 do
+        Trace.instant "test.trace.dumpme" ~args:[ ("i", Trace.Int i) ]
+      done);
+  let path = Filename.temp_file "sf_flight" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Flight.dump ~out:oc f;
+      close_out oc;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "dump names the event" true
+        (let re = "test.trace.dumpme" in
+         let rec contains i =
+           i + String.length re <= String.length contents
+           && (String.sub contents i (String.length re) = re || contains (i + 1))
+         in
+         contains 0);
+      Alcotest.(check bool) "dump mentions the overwritten count" true
+        (String.length contents > 0))
+
+(* --- exporters ---------------------------------------------------------- *)
+
+(* one synthetic stream exercising every kind, including an unmatched
+   Begin (a run that raised mid-phase) *)
+let synthetic_events () =
+  let acc = ref [] in
+  with_sink (collector acc) (fun () ->
+      Trace.emit "test.phase" Trace.Begin ~args:[ ("n", Trace.Int 3) ];
+      Trace.instant "test.point"
+        ~args:[ ("who", Trace.Str "a\"b\\c"); ("ok", Trace.Bool true) ];
+      Trace.counter "test.depth" 2.;
+      Trace.emit "test.inner" Trace.Begin;
+      Trace.emit "test.inner" Trace.End;
+      Trace.emit "test.phase" Trace.End ~args:[ ("done", Trace.Bool true) ];
+      Trace.emit "test.dangling" Trace.Begin;
+      Trace.instant "test.last" ~args:[ ("vs", Trace.Ints [ 1; 2; 3 ]) ]);
+  List.rev !acc
+
+let test_perfetto_export_is_valid_json () =
+  let doc = Trace_export.perfetto_json (synthetic_events ()) in
+  let j = parse_json doc in
+  (match str_field "displayTimeUnit" j with
+  | Some u -> Alcotest.(check string) "display unit" "ms" u
+  | None -> Alcotest.fail "missing displayTimeUnit");
+  match obj_field "traceEvents" j with
+  | Some (J_arr events) ->
+    Alcotest.(check bool) "non-empty traceEvents" true (events <> []);
+    let phs =
+      List.filter_map (fun e -> str_field "ph" e) events |> List.sort_uniq compare
+    in
+    Alcotest.(check (list string)) "only complete/instant/counter phases"
+      [ "C"; "X"; "i" ] phs;
+    List.iter
+      (fun e ->
+        match str_field "ph" e with
+        | Some "X" ->
+          (match obj_field "dur" e with
+          | Some (J_num d) ->
+            Alcotest.(check bool) "slice durations non-negative" true (d >= 0.)
+          | _ -> Alcotest.fail "X record without dur");
+          (match obj_field "ts" e with
+          | Some (J_num ts) ->
+            Alcotest.(check bool) "timestamps relative, non-negative" true (ts >= 0.)
+          | _ -> Alcotest.fail "X record without ts")
+        | Some "C" ->
+          (match obj_field "args" e with
+          | Some (J_obj _) -> ()
+          | _ -> Alcotest.fail "counter without args")
+        | _ -> ())
+      events;
+    (* both phases became slices; the dangling Begin was force-closed *)
+    let slice_names =
+      List.filter_map
+        (fun e -> if str_field "ph" e = Some "X" then str_field "name" e else None)
+        events
+    in
+    List.iter
+      (fun name ->
+        Alcotest.(check bool) (name ^ " sliced") true (List.mem name slice_names))
+      [ "test.phase"; "test.inner"; "test.dangling" ]
+  | _ -> Alcotest.fail "missing traceEvents array"
+
+let test_jsonl_lines_parse () =
+  List.iter
+    (fun e ->
+      let line = Trace_export.event_jsonl e in
+      match parse_json line with
+      | J_obj fields ->
+        Alcotest.(check bool) "has seq/ts/ph/name" true
+          (List.mem_assoc "seq" fields && List.mem_assoc "ts" fields
+          && List.mem_assoc "ph" fields && List.mem_assoc "name" fields)
+      | _ -> Alcotest.fail "JSONL line is not an object")
+    (synthetic_events ())
+
+let test_file_sink_selection () =
+  let dir = Filename.get_temp_dir_name () in
+  let jsonl = Filename.concat dir "sf_trace_test.jsonl" in
+  let json = Filename.concat dir "sf_trace_test.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists jsonl then Sys.remove jsonl;
+      if Sys.file_exists json then Sys.remove json)
+    (fun () ->
+      let id_l = Trace_export.attach_file jsonl in
+      let id_p = Trace_export.attach_file json in
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.detach id_l;
+          Trace.detach id_p)
+        (fun () ->
+          Trace.instant "test.trace.file" ~args:[ ("x", Trace.Int 1) ];
+          Trace.counter "test.trace.gauge" 4.);
+      let read path =
+        let ic = open_in path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let lines =
+        String.split_on_char '\n' (read jsonl) |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "jsonl: one line per event" 2 (List.length lines);
+      List.iter (fun l -> ignore (parse_json l)) lines;
+      match obj_field "traceEvents" (parse_json (read json)) with
+      | Some (J_arr evs) ->
+        Alcotest.(check int) "perfetto: one record per event" 2 (List.length evs)
+      | _ -> Alcotest.fail "perfetto file missing traceEvents")
+
+(* --- the oracle's request events ---------------------------------------- *)
+
+let test_request_events_match_counters () =
+  let requests_counter = Registry.counter "search.requests" in
+  let before = Sf_obs.Counter.value requests_counter in
+  let acc = ref [] in
+  let outcome =
+    with_sink (collector acc) (fun () ->
+        let rng = Rng.of_seed 41 in
+        let g = Ugraph.of_digraph (Sf_gen.Mori.tree rng ~p:0.6 ~t:300) in
+        Runner.search ~rng g Strategies.bfs ~source:1 ~target:290)
+  in
+  let request_events =
+    List.filter (fun e -> e.Trace.name = Oracle.request_event_name) !acc
+  in
+  Alcotest.(check int) "one event per paid request"
+    outcome.Runner.total_requests (List.length request_events);
+  Alcotest.(check int) "stream and counter agree"
+    (Sf_obs.Counter.value requests_counter - before)
+    (List.length request_events);
+  (* the index argument replays the request sequence 1..N *)
+  let indices =
+    List.rev_map
+      (fun e ->
+        match List.assoc_opt "index" e.Trace.args with
+        | Some (Trace.Int i) -> i
+        | _ -> -1)
+      request_events
+  in
+  Alcotest.(check (list int)) "indices are 1..N"
+    (List.init (List.length indices) (fun i -> i + 1))
+    indices
+
+let test_traced_run_golden_csv () =
+  (* the CSV of a fixed seeded run is pinned byte-for-byte: the
+     stream-backed run_traced must reproduce what the bespoke recorder
+     produced before it was deleted *)
+  let rng = Rng.of_seed 95 in
+  let g = Sf_gen.Mori.tree rng ~p:0.7 ~t:200 in
+  let oracle =
+    Oracle.start ~rng Oracle.Weak (Ugraph.of_digraph g) ~source:1 ~target:190
+  in
+  let _, trace = Runner.run_traced ~rng Strategies.bfs oracle in
+  let csv = Runner.trace_to_csv trace in
+  Alcotest.(check string) "golden digest of the seeded trace CSV"
+    "e72c509f00697c5912e24b093d6e3325"
+    (Digest.to_hex (Digest.string csv))
+
+let test_traced_run_empty_when_disabled () =
+  Registry.set_enabled false;
+  let outcome, trace =
+    Fun.protect
+      ~finally:(fun () -> Registry.set_enabled true)
+      (fun () ->
+        let rng = Rng.of_seed 95 in
+        let g = Sf_gen.Mori.tree rng ~p:0.7 ~t:200 in
+        let oracle =
+          Oracle.start ~rng Oracle.Weak (Ugraph.of_digraph g) ~source:1 ~target:190
+        in
+        Runner.run_traced ~rng Strategies.bfs oracle)
+  in
+  Alcotest.(check bool) "run still succeeds" true (outcome.Runner.to_target <> None);
+  Alcotest.(check int) "trace empty under --no-obs" 0 (List.length trace)
+
+(* --- GC sampling -------------------------------------------------------- *)
+
+let test_gc_sample_gauges_and_events () =
+  let acc = ref [] in
+  with_sink (collector acc) (fun () -> Sf_obs.Gc_sample.sample ());
+  let gauge name =
+    let g = Registry.gauge name in
+    Alcotest.(check bool) (name ^ " gauge set") true (Registry.gauge_set g);
+    Registry.gauge_value g
+  in
+  Alcotest.(check bool) "heap words positive" true (gauge "gc.heap_words" > 0.);
+  Alcotest.(check bool) "minor words non-negative" true (gauge "gc.minor_words" >= 0.);
+  ignore (gauge "gc.minor_collections");
+  ignore (gauge "gc.major_collections");
+  let counter_names =
+    List.filter_map
+      (fun e -> match e.Trace.kind with Trace.Counter _ -> Some e.Trace.name | _ -> None)
+      !acc
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "gc counter samples on the stream"
+    [ "gc.heap_words"; "gc.major_collections"; "gc.minor_collections" ]
+    counter_names
+
+(* --- manifest gating ----------------------------------------------------- *)
+
+let test_manifest_checked_skips_when_disabled () =
+  let path = Filename.temp_file "sf_manifest" ".json" in
+  Sys.remove path;
+  Registry.set_enabled false;
+  let status =
+    Fun.protect
+      ~finally:(fun () -> Registry.set_enabled true)
+      (fun () ->
+        Sf_obs.Export.write_manifest_checked ~tool:"test" ~seed:1 ~mode:"unit" ~path ())
+  in
+  Alcotest.(check bool) "reports the skip" true (status = `Skipped_disabled);
+  Alcotest.(check bool) "no file written" false (Sys.file_exists path)
+
+let test_manifest_checked_reports_io_errors () =
+  let status =
+    Sf_obs.Export.write_manifest_checked ~tool:"test" ~seed:1 ~mode:"unit"
+      ~path:"/nonexistent-dir-sf/obs.json" ()
+  in
+  match status with
+  | `Error _ -> ()
+  | `Written -> Alcotest.fail "wrote through a nonexistent directory"
+  | `Skipped_disabled -> Alcotest.fail "registry is enabled"
+
+(* --- progress ------------------------------------------------------------ *)
+
+let test_progress_reporting () =
+  let path = Filename.temp_file "sf_progress" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let pr = Sf_obs.Progress.create ~out:oc ~label:"trials" ~total:3 () in
+      Sf_obs.Progress.step pr ~detail:"first";
+      Sf_obs.Progress.step pr;
+      Sf_obs.Progress.step pr;
+      Alcotest.(check int) "steps counted" 3 (Sf_obs.Progress.completed pr);
+      Sf_obs.Progress.finish pr;
+      Sf_obs.Progress.step pr;
+      Alcotest.(check int) "steps after finish ignored" 3 (Sf_obs.Progress.completed pr);
+      close_out oc;
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "line carries the label and counts" true
+        (let re = "trials: 3/3" in
+         let rec contains i =
+           i + String.length re <= String.length s
+           && (String.sub s i (String.length re) = re || contains (i + 1))
+         in
+         contains 0);
+      Alcotest.(check bool) "final line is newline-terminated" true
+        (String.length s > 0 && s.[String.length s - 1] = '\n'))
+
+let suite =
+  [
+    ("fan-out and ordering", `Quick, test_emit_fanout_and_ordering);
+    ("inactive without sinks", `Quick, test_inactive_without_sinks);
+    ("detach closes the sink", `Quick, test_detach_closes_sink);
+    ("disabled stream emits nothing", `Quick, test_disabled_stream_emits_nothing);
+    ("flight ring wraparound", `Quick, test_flight_wraparound);
+    ("flight trigger fires once", `Quick, test_flight_trigger_fires_once);
+    ("flight dump renders", `Quick, test_flight_dump_renders_lines);
+    ("perfetto export is valid JSON", `Quick, test_perfetto_export_is_valid_json);
+    ("jsonl lines parse", `Quick, test_jsonl_lines_parse);
+    ("file sink selection by suffix", `Quick, test_file_sink_selection);
+    ("request events match counters", `Quick, test_request_events_match_counters);
+    ("traced run golden CSV", `Quick, test_traced_run_golden_csv);
+    ("traced run empty when disabled", `Quick, test_traced_run_empty_when_disabled);
+    ("gc sample gauges and events", `Quick, test_gc_sample_gauges_and_events);
+    ("manifest skipped when disabled", `Quick, test_manifest_checked_skips_when_disabled);
+    ("manifest io errors reported", `Quick, test_manifest_checked_reports_io_errors);
+    ("progress reporting", `Quick, test_progress_reporting);
+  ]
