@@ -18,6 +18,8 @@
      main.exe --trace F       write the event trace to F (.jsonl
                               streams; else Perfetto JSON)
      main.exe --progress      live per-experiment progress on stderr
+     main.exe --jobs N        worker domains for the experiment fan-out
+                              and the trial grids inside experiments
      main.exe --baseline F    metric-name baseline for --quick
                               (default bench/baseline_quick.json) *)
 
@@ -31,6 +33,7 @@ type options = {
   obs : bool;
   trace : string option;
   progress : bool;
+  jobs : int;
   baseline : string;
 }
 
@@ -44,6 +47,7 @@ let parse_args () =
   and obs = ref true
   and trace = ref ""
   and progress = ref false
+  and jobs = ref 0
   and baseline = ref "bench/baseline_quick.json" in
   let spec =
     [
@@ -58,6 +62,10 @@ let parse_args () =
         Arg.Set_string trace,
         "write the event trace to FILE (.jsonl streams; else Perfetto JSON)" );
       ("--progress", Arg.Set progress, "live per-experiment progress on stderr");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "worker domains for the parallel sections (default: SCALEFREE_JOBS or the \
+         recommended domain count, capped at 8); output is identical at any value" );
       ( "--baseline",
         Arg.Set_string baseline,
         "metric-name baseline diffed against in --quick mode" );
@@ -78,6 +86,7 @@ let parse_args () =
     obs = !obs;
     trace = (if !trace = "" then None else Some !trace);
     progress = !progress;
+    jobs = !jobs;
     baseline = !baseline;
   }
 
@@ -106,11 +115,13 @@ let run_experiments ~quick ~seed ~progress ids =
       Some (Sf_obs.Progress.create ~label:"experiments" ~total:(List.length selected) ())
     else None
   in
+  (* the fan-out: one pool task per experiment, results printed in
+     registry order after the join — tables and checks are independent
+     of the job count; only the [%.1fs] stamps (that experiment's own
+     wall time, measured inside the task) vary run to run *)
+  let results = Sf_experiments.Registry.run_all ~quick ~seed selected in
   List.iter
-    (fun (entry : Sf_experiments.Registry.entry) ->
-      let t0 = Unix.gettimeofday () in
-      let result = entry.Sf_experiments.Registry.run ~quick ~seed in
-      let dt = Unix.gettimeofday () -. t0 in
+    (fun ((_ : Sf_experiments.Registry.entry), result, dt) ->
       Printf.printf "\n######## %s - %s  [%.1fs]\n\n" result.Sf_experiments.Exp.id
         result.Sf_experiments.Exp.title dt;
       print_string result.Sf_experiments.Exp.output;
@@ -124,7 +135,7 @@ let run_experiments ~quick ~seed ~progress ids =
       Option.iter
         (fun pr -> Sf_obs.Progress.step pr ~detail:result.Sf_experiments.Exp.id)
         reporter)
-    selected;
+    results;
   Option.iter Sf_obs.Progress.finish reporter;
   Printf.printf "\n================================================================\n";
   if !failures = 0 then
@@ -315,11 +326,20 @@ let run_microbenchmarks ~quick =
 (* Part 3: the run manifest and the baseline shape check               *)
 (* ------------------------------------------------------------------ *)
 
-let write_manifest opts path =
+let write_manifest opts ~wall0 ~cpu0 path =
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let cpu_s = Sys.time () -. cpu0 in
   let extra =
     [
       ("timestamp_s", Sf_obs.Export.json_float (Unix.time ()));
       ("quick", string_of_bool opts.quick);
+      ("jobs", string_of_int (Sf_parallel.Pool.default_jobs ()));
+      ("wall_s", Sf_obs.Export.json_float wall_s);
+      ("cpu_s", Sf_obs.Export.json_float cpu_s);
+      (* Sys.time sums CPU across domains, so cpu/wall is the achieved
+         parallel speedup of the whole run *)
+      ( "parallel_speedup",
+        Sf_obs.Export.json_float (if wall_s > 0. then cpu_s /. wall_s else 1.) );
     ]
   in
   match
@@ -389,6 +409,8 @@ let attach_trace_sinks opts =
 
 let () =
   let opts = parse_args () in
+  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+  if opts.jobs <> 0 then Sf_parallel.Pool.set_default_jobs opts.jobs;
   if not opts.obs then Sf_obs.Registry.set_enabled false;
   let flight, sink_ids = attach_trace_sinks opts in
   let close_trace () =
@@ -398,9 +420,10 @@ let () =
     | Some _ | None -> ()
   in
   Printf.printf "Non-searchability of random scale-free graphs - experiment harness\n";
-  Printf.printf "mode: %s, seed: %d%s\n"
+  Printf.printf "mode: %s, seed: %d, jobs: %d%s\n"
     (if opts.quick then "quick" else "full")
     opts.seed
+    (Sf_parallel.Pool.default_jobs ())
     (if opts.obs then "" else ", observability off");
   (try
      if opts.experiments && opts.ids = None then
@@ -428,7 +451,7 @@ let () =
      (* a partial trace file is still written *)
      raise exn);
   close_trace ();
-  Option.iter (write_manifest opts) opts.metrics;
+  Option.iter (write_manifest opts ~wall0 ~cpu0) opts.metrics;
   let shape_ok =
     (* the check needs the full default metric surface: skip it when a
        subset of the work ran, or when instrumentation is off *)

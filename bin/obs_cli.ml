@@ -1,6 +1,6 @@
 (* Shared observability plumbing for the command-line tools: the
-   --metrics / --no-obs / --trace / --progress flag quartet and the
-   session bracket that turns them into attached sinks, an armed
+   --metrics / --no-obs / --trace / --progress / --jobs flag set and
+   the session bracket that turns them into attached sinks, an armed
    flight recorder, and a run manifest.
 
    Usage in a tool:
@@ -21,6 +21,7 @@ type t = {
   no_obs : bool;
   trace : string option;
   progress : bool;
+  jobs : int option;
 }
 
 let term =
@@ -49,20 +50,43 @@ let term =
   let progress =
     Arg.(value & flag & info [ "progress" ] ~doc:"Report live progress on stderr")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel sections (trial grids, experiment \
+             fan-out). Output is identical at any value for a fixed seed. Default: \
+             $(b,SCALEFREE_JOBS) if set, else the machine's recommended domain count \
+             capped at 8")
+  in
   Term.(
-    const (fun metrics no_obs trace progress -> { metrics; no_obs; trace; progress })
-    $ metrics $ no_obs $ trace $ progress)
+    const (fun metrics no_obs trace progress jobs -> { metrics; no_obs; trace; progress; jobs })
+    $ metrics $ no_obs $ trace $ progress $ jobs)
 
-type session = { flight : Sf_obs.Flight.t option; sink_ids : Sf_obs.Trace.id list }
+type session = {
+  flight : Sf_obs.Flight.t option;
+  sink_ids : Sf_obs.Trace.id list;
+  wall0 : float;
+  cpu0 : float;
+}
 
 let start (t : t) =
+  (match t.jobs with
+  | Some j when j < 1 -> invalid_arg "--jobs: need at least 1"
+  | Some j -> Sf_parallel.Pool.set_default_jobs j
+  | None -> ());
   if t.no_obs then Sf_obs.Registry.set_enabled false;
+  (* Sys.time sums CPU across all domains, so cpu/wall is the achieved
+     parallel speedup recorded in the manifest *)
+  let session sinks flight = { flight; sink_ids = sinks; wall0 = Unix.gettimeofday (); cpu0 = Sys.time () } in
   match t.trace with
-  | None -> { flight = None; sink_ids = [] }
+  | None -> session [] None
   | Some path when t.no_obs ->
     Printf.eprintf
       "observability is disabled (--no-obs); not writing an event trace to %s\n" path;
-    { flight = None; sink_ids = [] }
+    session [] None
   | Some path ->
     (* the recorder rides along only when tracing is on, so untraced
        runs keep the stream inactive and pay nothing per event *)
@@ -74,9 +98,19 @@ let start (t : t) =
         Sf_obs.Flight.dump f);
     let flight_id = Sf_obs.Trace.attach (Sf_obs.Flight.sink flight) in
     let file_id = Sf_obs.Trace_export.attach_file path in
-    { flight = Some flight; sink_ids = [ flight_id; file_id ] }
+    session [ flight_id; file_id ] (Some flight)
 
 let close_sinks session = List.iter Sf_obs.Trace.detach session.sink_ids
+
+let perf_extra session =
+  let wall_s = Unix.gettimeofday () -. session.wall0 in
+  let cpu_s = Sys.time () -. session.cpu0 in
+  [
+    ("jobs", string_of_int (Sf_parallel.Pool.default_jobs ()));
+    ("wall_s", Sf_obs.Export.json_float wall_s);
+    ("cpu_s", Sf_obs.Export.json_float cpu_s);
+    ("parallel_speedup", Sf_obs.Export.json_float (if wall_s > 0. then cpu_s /. wall_s else 1.));
+  ]
 
 (* [extra] is a thunk: manifest extras (instance sizes, strategy
    names) are typically computed inside the body, after the session
@@ -90,7 +124,9 @@ let finish (t : t) session ?(extra = fun () -> []) ~tool ~seed ~mode code =
   | None -> code
   | Some path -> (
     match
-      Sf_obs.Export.write_manifest_checked ~extra:(extra ()) ~tool ~seed ~mode ~path ()
+      Sf_obs.Export.write_manifest_checked
+        ~extra:(perf_extra session @ extra ())
+        ~tool ~seed ~mode ~path ()
     with
     | `Written ->
       Printf.printf "wrote run manifest to %s (%d metrics)\n" path

@@ -1,11 +1,15 @@
 (** Shared observability flags and session bracket of the command-line
-    tools ([--metrics], [--no-obs], [--trace], [--progress]).
+    tools ([--metrics], [--no-obs], [--trace], [--progress],
+    [--jobs]).
 
     Every tool splices {!term} into its cmdliner term and wraps its
-    body in {!with_session}, which attaches the [--trace] sinks (file
-    exporter plus an armed {!Sf_obs.Flight} recorder), dumps the
+    body in {!with_session}, which sets the {!Sf_parallel.Pool}
+    default job count from [--jobs], attaches the [--trace] sinks
+    (file exporter plus an armed {!Sf_obs.Flight} recorder), dumps the
     recorder when the body raises or a strategy gives up, finalises
-    the trace file, and writes the [--metrics] manifest last. *)
+    the trace file, and writes the [--metrics] manifest last — with
+    [jobs], [wall_s], [cpu_s] and [parallel_speedup] (CPU over wall,
+    summed across domains) among the manifest extras. *)
 
 type t = {
   metrics : string option;  (** [--metrics FILE]: write an obs.json manifest *)
@@ -13,6 +17,9 @@ type t = {
   trace : string option;
       (** [--trace FILE]: event trace; [.jsonl] streams, else Perfetto *)
   progress : bool;  (** [--progress]: live progress on stderr *)
+  jobs : int option;
+      (** [--jobs N]: worker domains for the parallel sections;
+          [None] keeps {!Sf_parallel.Pool.default_jobs} *)
 }
 
 val term : t Cmdliner.Term.t

@@ -48,15 +48,28 @@ let run_experiment id quick seed (obs : Obs_cli.t) =
         Some (Sf_obs.Progress.create ~label:"experiments" ~total:(List.length entries) ())
       else None
     in
+    let results =
+      match entries with
+      | [ e ] ->
+        (* one experiment runs on the calling domain, so its exp.<id>
+           span still lands in the manifest's span forest *)
+        [ (e, e.Sf_experiments.Registry.run ~quick ~seed) ]
+      | entries ->
+        (* 'all' fans out across the --jobs pool; output order and
+           bytes are independent of the job count *)
+        List.map
+          (fun (e, result, _elapsed) -> (e, result))
+          (Sf_experiments.Registry.run_all ~quick ~seed entries)
+    in
     let ok =
       List.for_all
-        (fun (e : Sf_experiments.Registry.entry) ->
-          let ok = print_result (e.Sf_experiments.Registry.run ~quick ~seed) in
+        (fun ((e : Sf_experiments.Registry.entry), result) ->
+          let ok = print_result result in
           Option.iter
             (fun pr -> Sf_obs.Progress.step pr ~detail:e.Sf_experiments.Registry.id)
             progress;
           ok)
-        entries
+        results
     in
     Option.iter Sf_obs.Progress.finish progress;
     if ok then 0 else 2

@@ -64,31 +64,14 @@ let run model n p m alpha exponent strategy_name source target trials budget see
         Some (Sf_obs.Progress.create ~label:"trials" ~total:trials ())
       else None
     in
-    Sf_obs.Span.with_span "trials" (fun () ->
-    for trial = 1 to trials do
+    (* every trial owns the split stream [split_at rng trial], so the
+       pooled run below aggregates exactly what the old sequential
+       loop did, at any --jobs value *)
+    let run_one trial =
       let trial_rng = Sf_prng.Rng.split_at rng trial in
-      let outcome =
-        if trial = 1 && trace_csv <> None then begin
-          (* trace the first trial when asked *)
-          let oracle =
-            Sf_search.Oracle.start ~rng:trial_rng strategy.Sf_search.Strategy.model graph
-              ~source ~target
-          in
-          let outcome, trace =
-            Sf_search.Runner.run_traced ?budget ~rng:trial_rng strategy oracle
-          in
-          (match trace_csv with
-          | Some path ->
-            let oc = open_out path in
-            output_string oc (Sf_search.Runner.trace_to_csv trace);
-            close_out oc;
-            Printf.printf "wrote trace of trial 1 to %s (%d events)\n" path
-              (List.length trace)
-          | None -> ());
-          outcome
-        end
-        else Sf_search.Runner.search ?budget ~rng:trial_rng graph strategy ~source ~target
-      in
+      Sf_search.Runner.search ?budget ~rng:trial_rng graph strategy ~source ~target
+    in
+    let record outcome =
       (match outcome.Sf_search.Runner.to_target with
       | Some r -> Sf_stats.Summary.add_int to_target r
       | None -> incr timeouts);
@@ -101,7 +84,40 @@ let run model n p m alpha exponent strategy_name source target trials budget see
             ~detail:
               (Printf.sprintf "%d requests" outcome.Sf_search.Runner.total_requests))
         progress
-    done);
+    in
+    Sf_obs.Span.with_span "trials" (fun () ->
+        let traced_first =
+          match trace_csv with
+          | Some path when trials >= 1 ->
+            (* the traced trial stays on the calling domain:
+               run_traced attaches a temporary collector sink, which a
+               parallel task must not do *)
+            let trial_rng = Sf_prng.Rng.split_at rng 1 in
+            let oracle =
+              Sf_search.Oracle.start ~rng:trial_rng strategy.Sf_search.Strategy.model
+                graph ~source ~target
+            in
+            let outcome, trace =
+              Sf_search.Runner.run_traced ?budget ~rng:trial_rng strategy oracle
+            in
+            let oc = open_out path in
+            output_string oc (Sf_search.Runner.trace_to_csv trace);
+            close_out oc;
+            Printf.printf "wrote trace of trial 1 to %s (%d events)\n" path
+              (List.length trace);
+            [ outcome ]
+          | Some _ | None -> []
+        in
+        let already = List.length traced_first in
+        let rest =
+          if trials > already then
+            Sf_parallel.Pool.with_pool (fun pool ->
+                Sf_parallel.Pool.mapi pool (trials - already) (fun i ->
+                    run_one (already + 1 + i)))
+            |> Array.to_list
+          else []
+        in
+        List.iter record (traced_first @ rest));
     Option.iter Sf_obs.Progress.finish progress;
     Printf.printf "trials: %d (timeouts: %d)\n" trials !timeouts;
     if Sf_stats.Summary.count to_target > 0 then

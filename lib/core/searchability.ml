@@ -48,54 +48,85 @@ let trial_cost spec outcome =
   | Some r -> (float_of_int r, false)
   | None -> (float_of_int outcome.Runner.total_requests, true)
 
-let measure master ~make ~strategies ~sizes ~spec =
+(* One independent trial: the parallel unit of work.  Everything here
+   is either freshly built from the trial's split stream or routed
+   through the capture-aware Sf_obs layer, so trials may run on any
+   domain in any order. *)
+let run_trial master spec ~make ~strategy ~n ~size_idx ~strat_idx ~trial =
+  (* A unique, order-independent stream per cell and trial. *)
+  let key = (((size_idx * 97) + strat_idx) * 65_537) + trial in
+  let rng = Rng.split_at master key in
+  (* Trace events, not Span.with_span: thousands of trials would bloat
+     the manifest's span forest, while the stream costs nothing with no
+     sink attached. *)
+  let tracing = Sf_obs.Trace.active () in
+  if tracing then
+    Sf_obs.Trace.emit "search.trial" Sf_obs.Trace.Begin
+      ~args:
+        [
+          ("n", Sf_obs.Trace.Int n);
+          ("strategy", Sf_obs.Trace.Str strategy.Strategy.name);
+          ("trial", Sf_obs.Trace.Int trial);
+        ];
+  let g, target = make rng n in
+  let source = pick_source rng spec g target in
+  let stop_at =
+    match spec.metric with To_neighbor -> Runner.At_neighbor | To_target -> Runner.At_target
+  in
+  let outcome = Runner.search ~budget:(spec.budget n) ~stop_at ~rng g strategy ~source ~target in
+  let cost, truncated = trial_cost spec outcome in
+  if tracing then
+    Sf_obs.Trace.emit "search.trial" Sf_obs.Trace.End
+      ~args:
+        [
+          ("cost", Sf_obs.Trace.Float cost);
+          ("truncated", Sf_obs.Trace.Bool truncated);
+          ("gave_up", Sf_obs.Trace.Bool outcome.Runner.gave_up);
+        ];
+  (cost, truncated, outcome.Runner.gave_up)
+
+let measure ?jobs master ~make ~strategies ~sizes ~spec =
   if spec.trials < 1 then invalid_arg "Searchability.measure: need trials >= 1";
+  List.iter
+    (fun n ->
+      let b = spec.budget n in
+      if b < 1 then
+        invalid_arg
+          (Printf.sprintf "Searchability.measure: budget must be positive (got %d for n = %d)"
+             b n))
+    sizes;
+  let sizes_a = Array.of_list sizes in
+  let strategies_a = Array.of_list strategies in
+  let n_strats = Array.length strategies_a in
+  let n_cells = Array.length sizes_a * n_strats in
+  let n_tasks = n_cells * spec.trials in
+  (* Flattened task index, ascending in exactly the order the old
+     sequential triple loop visited (size, strategy, trial) — the pool
+     merges per-task observability shards in this order, so metrics
+     and trace come out identical at any job count. *)
+  let outcomes =
+    Sf_parallel.Pool.with_pool ?jobs (fun pool ->
+        Sf_parallel.Pool.mapi pool n_tasks (fun task ->
+            let cell = task / spec.trials and trial = task mod spec.trials in
+            let size_idx = cell / n_strats and strat_idx = cell mod n_strats in
+            run_trial master spec ~make ~strategy:strategies_a.(strat_idx)
+              ~n:sizes_a.(size_idx) ~size_idx ~strat_idx ~trial))
+  in
+  (* Statistical aggregation stays on the caller, folding trial
+     results in trial order — bit-identical to the sequential loop. *)
   let points = ref [] in
-  List.iteri
+  Array.iteri
     (fun size_idx n ->
-      List.iteri
+      Array.iteri
         (fun strat_idx strategy ->
           let summary = Sf_stats.Summary.create () in
           let costs = Array.make spec.trials 0. in
           let timeouts = ref 0 and gave_up = ref 0 in
-          (* Trace events, not Span.with_span: thousands of trials
-             would bloat the manifest's span forest, while the stream
-             costs nothing with no sink attached. *)
-          let tracing = Sf_obs.Trace.active () in
           for trial = 0 to spec.trials - 1 do
-            (* A unique, order-independent stream per cell and trial. *)
-            let key = (((size_idx * 97) + strat_idx) * 65_537) + trial in
-            let rng = Rng.split_at master key in
-            if tracing then
-              Sf_obs.Trace.emit "search.trial" Sf_obs.Trace.Begin
-                ~args:
-                  [
-                    ("n", Sf_obs.Trace.Int n);
-                    ("strategy", Sf_obs.Trace.Str strategy.Strategy.name);
-                    ("trial", Sf_obs.Trace.Int trial);
-                  ];
-            let g, target = make rng n in
-            let source = pick_source rng spec g target in
-            let stop_at =
-              match spec.metric with
-              | To_neighbor -> Runner.At_neighbor
-              | To_target -> Runner.At_target
-            in
-            let outcome =
-              Runner.search ~budget:(spec.budget n) ~stop_at ~rng g strategy ~source
-                ~target
-            in
-            let cost, truncated = trial_cost spec outcome in
+            let task = ((((size_idx * n_strats) + strat_idx) * spec.trials) + trial) in
+            let cost, truncated, gup = outcomes.(task) in
             if truncated then incr timeouts;
-            if outcome.Runner.gave_up then incr gave_up;
-            if tracing then
-              Sf_obs.Trace.emit "search.trial" Sf_obs.Trace.End
-                ~args:
-                  [
-                    ("cost", Sf_obs.Trace.Float cost);
-                    ("truncated", Sf_obs.Trace.Bool truncated);
-                    ("gave_up", Sf_obs.Trace.Bool outcome.Runner.gave_up);
-                  ];
+            if gup then incr gave_up;
             Sf_stats.Summary.add summary cost;
             costs.(trial) <- cost
           done;
@@ -113,8 +144,8 @@ let measure master ~make ~strategies ~sizes ~spec =
             }
           in
           points := point :: !points)
-        strategies)
-    sizes;
+        strategies_a)
+    sizes_a;
   List.rev !points
 
 let mori_instance ~p ~m rng n =

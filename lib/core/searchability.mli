@@ -48,6 +48,7 @@ val default_spec : spec
     start. *)
 
 val measure :
+  ?jobs:int ->
   Sf_prng.Rng.t ->
   make:(Sf_prng.Rng.t -> int -> Sf_graph.Ugraph.t * int) ->
   strategies:Sf_search.Strategy.t list ->
@@ -55,7 +56,17 @@ val measure :
   spec:spec ->
   point list
 (** [make rng n] must return a connected graph for problem size [n]
-    together with the search target. One fresh graph per trial. *)
+    together with the search target. One fresh graph per trial.
+
+    Trials run on an {!Sf_parallel.Pool} of [jobs] domains (default
+    {!Sf_parallel.Pool.default_jobs}); every trial owns the split
+    stream [Rng.split_at master key] and aggregation folds results in
+    trial order, so points, metrics and trace output are identical for
+    a fixed seed at any job count (doc/PARALLELISM.md).
+
+    @raise Invalid_argument when [spec.trials < 1] or [spec.budget]
+    returns a non-positive budget for any requested size — a budget of
+    zero would silently record every trial as a timeout. *)
 
 val mori_instance :
   p:float -> m:int -> Sf_prng.Rng.t -> int -> Sf_graph.Ugraph.t * int

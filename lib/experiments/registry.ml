@@ -123,3 +123,21 @@ let find id =
   List.find_opt (fun e -> String.lowercase_ascii e.id = needle) all
 
 let ids () = List.map (fun e -> e.id) all
+
+(* The per-experiment fan-out.  Experiments are pure producers (they
+   return their tables as strings; nothing prints during [run]) whose
+   randomness comes from the seed, so they parallelise like trials do.
+   One experiment per task; a measure grid *inside* an experiment sees
+   Shard.capturing and runs its own trials inline, so the machine is
+   never oversubscribed.  Results come back in registry order whatever
+   the schedule was. *)
+let run_all ?jobs ~quick ~seed entries =
+  let arr = Array.of_list entries in
+  Sf_parallel.Pool.with_pool ?jobs (fun pool ->
+      Sf_parallel.Pool.map pool
+        (fun e ->
+          let t0 = Sf_obs.Timer.now_s () in
+          let result = e.run ~quick ~seed in
+          (e, result, Sf_obs.Timer.now_s () -. t0))
+        arr)
+  |> Array.to_list

@@ -14,3 +14,14 @@ val find : string -> entry option
 (** Case-insensitive lookup by id. *)
 
 val ids : unit -> string list
+
+val run_all :
+  ?jobs:int -> quick:bool -> seed:int -> entry list -> (entry * Exp.result * float) list
+(** Run the given experiments on an {!Sf_parallel.Pool} of [jobs]
+    domains (default {!Sf_parallel.Pool.default_jobs}), one experiment
+    per task. Returns [(entry, result, elapsed_s)] in input order;
+    results and observability output are deterministic for a fixed
+    seed at any job count (doc/PARALLELISM.md). Because experiments
+    run as pool tasks, their [exp.<id>] phases appear as trace slices
+    rather than manifest span-forest nodes; per-experiment wall time
+    is the returned [elapsed_s]. *)

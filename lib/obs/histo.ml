@@ -24,6 +24,41 @@ let create ?(base = 2.0) () =
 
 let base t = t.base
 
+(* Domain-local capture, same scheme as Counter: a capture gives each
+   touched histogram a private shadow (same base, same bucket layout)
+   that absorbs the observations; [apply] merges shadows into the
+   shared accumulators at the join barrier. *)
+
+type delta = { h_target : t; h_shadow : t }
+type deltas = delta list
+type frame = delta list ref option
+
+let slot : delta list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let capture_begin () : frame =
+  let s = Domain.DLS.get slot in
+  let prev = !s in
+  s := Some (ref []);
+  prev
+
+let capture_end (prev : frame) : deltas =
+  let s = Domain.DLS.get slot in
+  let ds = match !s with Some buf -> List.rev !buf | None -> [] in
+  s := prev;
+  ds
+
+let shadow_of buf t =
+  let rec find = function
+    | [] ->
+      let cell = { h_target = t; h_shadow = create ~base:t.base () } in
+      buf := cell :: !buf;
+      cell.h_shadow
+    | cell :: _ when cell.h_target == t -> cell.h_shadow
+    | _ :: rest -> find rest
+  in
+  find !buf
+
 let bucket_index t v =
   if v <= 1. then 0
   else
@@ -31,7 +66,7 @@ let bucket_index t v =
     let i = int_of_float (Float.ceil ((Float.log v /. t.log_base) -. 1e-9)) in
     if i < 1 then 1 else if i >= n_buckets then n_buckets - 1 else i
 
-let observe t v =
+let observe_direct t v =
   t.counts.(bucket_index t v) <- t.counts.(bucket_index t v) + 1;
   t.count <- t.count + 1;
   t.sum <- t.sum +. v;
@@ -44,7 +79,35 @@ let observe t v =
     if v > t.max_v then t.max_v <- v
   end
 
+let observe t v =
+  match !(Domain.DLS.get slot) with
+  | None -> observe_direct t v
+  | Some buf -> observe_direct (shadow_of buf t) v
+
 let observe_int t v = observe t (float_of_int v)
+
+let merge_direct ~into:t src =
+  if src.count > 0 then begin
+    Array.iteri (fun i c -> if c > 0 then t.counts.(i) <- t.counts.(i) + c) src.counts;
+    if t.count = 0 then begin
+      t.min_v <- src.min_v;
+      t.max_v <- src.max_v
+    end
+    else begin
+      if src.min_v < t.min_v then t.min_v <- src.min_v;
+      if src.max_v > t.max_v then t.max_v <- src.max_v
+    end;
+    t.count <- t.count + src.count;
+    t.sum <- t.sum +. src.sum
+  end
+
+let apply ds =
+  List.iter
+    (fun d ->
+      match !(Domain.DLS.get slot) with
+      | None -> merge_direct ~into:d.h_target d.h_shadow
+      | Some buf -> merge_direct ~into:(shadow_of buf d.h_target) d.h_shadow)
+    ds
 
 let count t = t.count
 let sum t = t.sum

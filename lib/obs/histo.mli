@@ -59,3 +59,21 @@ val quantile : t -> float -> float
     when empty. @raise Invalid_argument if [q] is outside [[0,1]]. *)
 
 val reset : t -> unit
+
+(** {1 Domain-local capture}
+
+    Same contract as {!Counter.capture_begin} — see there for the full
+    story. A capture gives each touched histogram a private shadow
+    (same base and bucket layout) absorbing its observations; {!apply}
+    merges shadows into the shared accumulators at the join barrier.
+    Bucket counts, totals and min/max merge exactly; the running [sum]
+    is a float whose association order follows the merge order, which
+    the pool keeps fixed (task-index order) so a given seed produces
+    the same sum at any job count. *)
+
+type frame
+type deltas
+
+val capture_begin : unit -> frame
+val capture_end : frame -> deltas
+val apply : deltas -> unit

@@ -1,0 +1,43 @@
+(** Per-task observability shards: the bridge between this library's
+    single-domain mutable metrics and {!Sf_parallel.Pool}'s worker
+    domains.
+
+    The raw metric cells ({!Counter}, {!Timer}, {!Histo}, gauges) and
+    the {!Trace} sinks are deliberately plain mutable state — the hot
+    paths they instrument cannot afford atomics. Parallel execution
+    keeps them safe by {e isolation}, not locking: the pool brackets
+    every task in {!capture}, so all metric updates and trace events
+    land in a private, domain-local shard; {!merge} folds the shards
+    back on the pool's caller, in task-index order, at the join
+    barrier.
+
+    That fixed merge order is the heart of the determinism contract
+    (doc/PARALLELISM.md): counter totals, histogram contents, gauge
+    last-writes and trace sequence numbers come out identical for a
+    fixed seed at any job count. Wall-clock quantities (timer totals,
+    event timestamps, span durations) stay truthful and therefore vary
+    run to run.
+
+    Captures nest: a {!capture} opened while another is in progress
+    (a pool used inside a pool task) merges into the {e enclosing}
+    shard, and the composition stays deterministic. *)
+
+type t
+(** The observability output of one completed task: counter and timer
+    deltas, histogram shadows, gauge writes, buffered trace events. *)
+
+val capturing : unit -> bool
+(** True while a capture is open on the current domain — i.e. the
+    caller is running inside a parallel task. *)
+
+val capture : (unit -> 'a) -> 'a * t
+(** [capture f] runs [f] with all observability output redirected into
+    a fresh shard and returns the result with the shard. If [f]
+    raises, the partial shard is {e discarded} and the exception
+    re-raised with its backtrace — totals must not depend on where an
+    exception struck. *)
+
+val merge : t -> unit
+(** Fold a shard into the process-wide metrics and the attached trace
+    sinks (or into the enclosing capture, when nested). Call on the
+    domain that owns the sinks, in task-index order. *)

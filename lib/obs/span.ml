@@ -32,6 +32,14 @@ let leave () =
 
 let with_span name f =
   if not (Registry.enabled ()) then f ()
+  else if Trace.capturing () then begin
+    (* inside a parallel task: the span forest (global stack) belongs
+       to the pool's caller, so only the stream sees this phase — the
+       Begin/End pair is buffered and replayed at the join barrier,
+       keeping Perfetto slices without racing on the stack *)
+    Trace.emit name Trace.Begin;
+    Fun.protect ~finally:(fun () -> Trace.emit name Trace.End) f
+  end
   else begin
     enter name;
     Fun.protect ~finally:leave f

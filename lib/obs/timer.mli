@@ -43,6 +43,25 @@ val mean_s : t -> float
 
 val reset : t -> unit
 
+(** {1 Domain-local capture}
+
+    Same contract as {!Counter.capture_begin} — see there for the full
+    story. While a capture is open on this domain, {!time},
+    {!start}/{!stop} accumulate into a private delta (including the
+    pending-interval state, so paired start/stop inside a parallel
+    task never touches the shared cell); {!apply} folds closed deltas
+    in at the join barrier. Interval {e counts} merge
+    deterministically; the accumulated seconds are wall-clock and
+    therefore vary run to run (doc/PARALLELISM.md, determinism
+    contract). *)
+
+type frame
+type deltas
+
+val capture_begin : unit -> frame
+val capture_end : frame -> deltas
+val apply : deltas -> unit
+
 (** {1 Clock injection} *)
 
 val set_clock : (unit -> float) -> unit

@@ -47,12 +47,49 @@ let detach_all () =
 
 let attached () = List.length !sinks
 
+(* Domain-local capture (see Counter for the scheme): while a capture
+   is open, events are buffered with a zero sequence number; the pool
+   replays buffers at the join barrier in task-index order, and only
+   that replay touches the global counter and the sinks — so sinks
+   remain single-domain and sequence numbers stay gap-free and
+   deterministic for a fixed seed. *)
+
+type frame = event list ref option
+
+let slot : event list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let capturing () = Option.is_some !(Domain.DLS.get slot)
+
+let capture_begin () : frame =
+  let s = Domain.DLS.get slot in
+  let prev = !s in
+  s := Some (ref []);
+  prev
+
+let capture_end (prev : frame) : event list =
+  let s = Domain.DLS.get slot in
+  let events = match !s with Some buf -> List.rev !buf | None -> [] in
+  s := prev;
+  events
+
+let dispatch e =
+  incr seq;
+  let e = { e with seq = !seq } in
+  List.iter (fun (_, s) -> s.emit e) !sinks
+
 let emit ?(args = []) name kind =
   if active () then begin
-    incr seq;
-    let e = { seq = !seq; ts = Timer.now_s (); name; kind; args } in
-    List.iter (fun (_, s) -> s.emit e) !sinks
+    let e = { seq = 0; ts = Timer.now_s (); name; kind; args } in
+    match !(Domain.DLS.get slot) with
+    | Some buf -> buf := e :: !buf
+    | None -> dispatch e
   end
+
+let replay events =
+  match !(Domain.DLS.get slot) with
+  | Some buf -> List.iter (fun e -> buf := e :: !buf) events
+  | None -> if active () then List.iter dispatch events
 
 let instant ?args name = emit ?args name Instant
 let counter ?args name v = emit ?args name (Counter v)

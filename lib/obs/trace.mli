@@ -51,6 +51,34 @@ val emit : ?args:(string * arg) list -> string -> kind -> unit
 val instant : ?args:(string * arg) list -> string -> unit
 val counter : ?args:(string * arg) list -> string -> float -> unit
 
+(** {1 Domain-local capture}
+
+    Sinks are plain closures and must only ever run on one domain.
+    {!Sf_parallel.Pool} guarantees that by bracketing parallel tasks
+    in a capture: while one is open on the current domain, {!emit}
+    buffers events (with a zero [seq] and the emitting domain's
+    timestamp) instead of touching the sinks; {!replay} at the join
+    barrier — in task-index order, on the pool's caller — assigns the
+    definitive sequence numbers and fans out. Sequence numbers are
+    therefore gap-free and identical for a fixed seed at any job
+    count; timestamps keep wall-clock truth and may interleave.
+    Prefer the composed {!Shard} API over calling these directly. *)
+
+type frame
+
+val capturing : unit -> bool
+(** True while a capture is open on the current domain — i.e. the code
+    is running inside a parallel task. Sites that must side-step
+    capture (e.g. attaching a sink) can refuse when this is set. *)
+
+val capture_begin : unit -> frame
+val capture_end : frame -> event list
+
+val replay : event list -> unit
+(** Re-emit captured events: assigns fresh sequence numbers and fans
+    out to the attached sinks (dropped when none are attached), or
+    re-buffers into the enclosing capture if one is open. *)
+
 (** {1 Sinks} *)
 
 type sink = {

@@ -1,0 +1,209 @@
+(* A small persistent domain pool with deterministic fork-join.
+
+   Work is submitted as a batch of [n] indexed tasks; the caller's
+   domain participates, and [jobs - 1] persistent workers drain the
+   shared index with [Atomic.fetch_and_add].  Every task runs inside an
+   [Sf_obs.Shard.capture], and the shards are merged back on the
+   caller in task-index order at the join barrier — scheduling decides
+   only *when* a task runs, never what it observes or the order its
+   output lands, so a fixed seed produces identical results, metrics
+   and trace streams at any job count (doc/PARALLELISM.md).
+
+   The sequential path (jobs = 1, or a single chunk, or a pool used
+   inside another pool's task) runs the same capture/merge bracket
+   inline, keeping the two paths literally the same code shape. *)
+
+type batch = { b_n : int; b_next : int Atomic.t; b_run : int -> unit }
+
+type t = {
+  p_jobs : int;
+  p_lock : Mutex.t;
+  p_work : Condition.t;  (* workers: a new batch or shutdown *)
+  p_done : Condition.t;  (* caller: all workers left the batch *)
+  mutable p_batch : batch option;
+  mutable p_gen : int;  (* bumped once per batch *)
+  mutable p_active : int;  (* workers still inside the current batch *)
+  mutable p_closing : bool;
+  mutable p_domains : unit Domain.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Job-count defaults                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* cap the zero-config default: trial workloads stop scaling well
+   before the core count on big machines, and CI runners lie about
+   their parallelism *)
+let recommended_jobs () = min 8 (Domain.recommended_domain_count ())
+
+let env_jobs () =
+  match Sys.getenv_opt "SCALEFREE_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Some j
+    | Some _ | None -> None)
+
+let default = ref None
+
+let default_jobs () =
+  match !default with
+  | Some j -> j
+  | None ->
+    let j = match env_jobs () with Some j -> j | None -> recommended_jobs () in
+    default := Some j;
+    j
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Pool.set_default_jobs: need jobs >= 1";
+  default := Some j
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let drain b =
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.b_next 1 in
+    if i < b.b_n then begin
+      b.b_run i;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker_loop t gen_seen =
+  Mutex.lock t.p_lock;
+  while (not t.p_closing) && t.p_gen = gen_seen do
+    Condition.wait t.p_work t.p_lock
+  done;
+  if t.p_closing then Mutex.unlock t.p_lock
+  else begin
+    let gen = t.p_gen in
+    let batch = t.p_batch in
+    Mutex.unlock t.p_lock;
+    (match batch with
+    | Some b ->
+      (* b_run captures exceptions itself; the catch-all is belt and
+         braces so a worker can never die and deadlock the barrier *)
+      (try drain b with _ -> ());
+      Mutex.lock t.p_lock;
+      t.p_active <- t.p_active - 1;
+      if t.p_active = 0 then Condition.broadcast t.p_done;
+      Mutex.unlock t.p_lock
+    | None -> ());
+    worker_loop t gen
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ?jobs () =
+  let requested = match jobs with Some j -> j | None -> default_jobs () in
+  if requested < 1 then invalid_arg "Pool.create: need jobs >= 1";
+  (* a pool created inside another pool's task runs inline: nested
+     spawning would oversubscribe the machine, and the enclosing
+     capture already owns this domain's observability output *)
+  let jobs = if Sf_obs.Shard.capturing () then 1 else requested in
+  let t =
+    {
+      p_jobs = jobs;
+      p_lock = Mutex.create ();
+      p_work = Condition.create ();
+      p_done = Condition.create ();
+      p_batch = None;
+      p_gen = 0;
+      p_active = 0;
+      p_closing = false;
+      p_domains = [];
+    }
+  in
+  if jobs > 1 then
+    t.p_domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let jobs t = t.p_jobs
+
+let shutdown t =
+  Mutex.lock t.p_lock;
+  t.p_closing <- true;
+  Condition.broadcast t.p_work;
+  Mutex.unlock t.p_lock;
+  (* idempotent: a second call finds no domains left to join *)
+  List.iter Domain.join t.p_domains;
+  t.p_domains <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Batches                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch t ~n run =
+  let b = { b_n = n; b_next = Atomic.make 0; b_run = run } in
+  Mutex.lock t.p_lock;
+  t.p_batch <- Some b;
+  t.p_gen <- t.p_gen + 1;
+  t.p_active <- List.length t.p_domains;
+  Condition.broadcast t.p_work;
+  Mutex.unlock t.p_lock;
+  drain b;
+  (* the barrier: its lock ordering also publishes every slot the
+     workers wrote, so the caller may read result arrays plainly *)
+  Mutex.lock t.p_lock;
+  while t.p_active > 0 do
+    Condition.wait t.p_done t.p_lock
+  done;
+  t.p_batch <- None;
+  Mutex.unlock t.p_lock
+
+let map_chunks t ~chunk n f =
+  if chunk < 1 then invalid_arg "Pool.map_chunks: need chunk >= 1";
+  if n < 0 then invalid_arg "Pool.map_chunks: need n >= 0";
+  if t.p_closing then invalid_arg "Pool.map_chunks: pool is shut down";
+  if n = 0 then [||]
+  else begin
+    let n_chunks = ((n + chunk) - 1) / chunk in
+    let results = Array.make n None in
+    let run_chunk c =
+      let lo = c * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      for i = lo to hi do
+        results.(i) <- Some (f i)
+      done
+    in
+    if t.p_jobs = 1 || n_chunks = 1 then
+      (* sequential: the same capture/merge bracket per chunk, so the
+         observability stream is structurally identical to a parallel
+         run's — that, not luck, is the determinism guarantee *)
+      for c = 0 to n_chunks - 1 do
+        let (), shard = Sf_obs.Shard.capture (fun () -> run_chunk c) in
+        Sf_obs.Shard.merge shard
+      done
+    else begin
+      let shards = Array.make n_chunks None in
+      let errors = Array.make n_chunks None in
+      run_batch t ~n:n_chunks (fun c ->
+          match Sf_obs.Shard.capture (fun () -> run_chunk c) with
+          | (), shard -> shards.(c) <- Some shard
+          | exception exn -> errors.(c) <- Some (exn, Printexc.get_raw_backtrace ()));
+      let rec first_error c =
+        if c >= n_chunks then None
+        else match errors.(c) with Some e -> Some e | None -> first_error (c + 1)
+      in
+      match first_error 0 with
+      | Some (exn, bt) ->
+        (* deterministic failure: the smallest-index error wins and no
+           shard is merged, whatever the interleaving was *)
+        Printexc.raise_with_backtrace exn bt
+      | None -> Array.iter (function Some s -> Sf_obs.Shard.merge s | None -> ()) shards
+    end;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let mapi t n f = map_chunks t ~chunk:1 n f
+
+let map t f arr = mapi t (Array.length arr) (fun i -> f arr.(i))

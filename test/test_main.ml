@@ -12,4 +12,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
+      ("parallel", Test_parallel.suite);
     ]
