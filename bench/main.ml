@@ -20,6 +20,8 @@
      main.exe --progress      live per-experiment progress on stderr
      main.exe --jobs N        worker domains for the experiment fan-out
                               and the trial grids inside experiments
+     main.exe --corpus DIR    content-addressed graph corpus cache
+                              (default: SCALEFREE_CORPUS if set)
      main.exe --baseline F    metric-name baseline for --quick
                               (default bench/baseline_quick.json) *)
 
@@ -34,6 +36,7 @@ type options = {
   trace : string option;
   progress : bool;
   jobs : int;
+  corpus : string option;
   baseline : string;
 }
 
@@ -48,6 +51,7 @@ let parse_args () =
   and trace = ref ""
   and progress = ref false
   and jobs = ref 0
+  and corpus = ref ""
   and baseline = ref "bench/baseline_quick.json" in
   let spec =
     [
@@ -66,6 +70,11 @@ let parse_args () =
         Arg.Set_int jobs,
         "worker domains for the parallel sections (default: SCALEFREE_JOBS or the \
          recommended domain count, capped at 8); output is identical at any value" );
+      ( "--corpus",
+        Arg.Set_string corpus,
+        "content-addressed graph corpus cache directory (doc/STORAGE.md; default: \
+         SCALEFREE_CORPUS if set); generated instance graphs are stored and replayed \
+         with byte-identical results" );
       ( "--baseline",
         Arg.Set_string baseline,
         "metric-name baseline diffed against in --quick mode" );
@@ -87,6 +96,7 @@ let parse_args () =
     trace = (if !trace = "" then None else Some !trace);
     progress = !progress;
     jobs = !jobs;
+    corpus = (if !corpus = "" then None else Some !corpus);
     baseline = !baseline;
   }
 
@@ -341,6 +351,17 @@ let write_manifest opts ~wall0 ~cpu0 path =
       ( "parallel_speedup",
         Sf_obs.Export.json_float (if wall_s > 0. then cpu_s /. wall_s else 1.) );
     ]
+    @
+    (* a warm-cache run is auditable from the manifest alone: cache.hit
+       / cache.miss say what happened, corpus_dir says where *)
+    (match Sf_store.Corpus.cache () with
+    | None -> []
+    | Some cache ->
+      [
+        ("corpus_dir", Sf_obs.Export.json_string (Sf_store.Cache.dir cache));
+        ("corpus_entries", string_of_int (List.length (Sf_store.Cache.entries cache)));
+        ("corpus_bytes", string_of_int (Sf_store.Cache.total_bytes cache));
+      ])
   in
   match
     Sf_obs.Export.write_manifest_checked ~extra ~tool:"bench/main.exe" ~seed:opts.seed
@@ -411,6 +432,8 @@ let () =
   let opts = parse_args () in
   let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
   if opts.jobs <> 0 then Sf_parallel.Pool.set_default_jobs opts.jobs;
+  (* before any domains spawn: the corpus handle is a process global *)
+  Sf_store.Corpus.configure ?dir:opts.corpus ();
   if not opts.obs then Sf_obs.Registry.set_enabled false;
   let flight, sink_ids = attach_trace_sinks opts in
   let close_trace () =

@@ -22,6 +22,7 @@ type t = {
   trace : string option;
   progress : bool;
   jobs : int option;
+  corpus : string option;
 }
 
 let term =
@@ -61,9 +62,20 @@ let term =
              $(b,SCALEFREE_JOBS) if set, else the machine's recommended domain count \
              capped at 8")
   in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed graph corpus cache (doc/STORAGE.md): generated graphs \
+             are stored under $(docv) and replayed on later runs with byte-identical \
+             results. Default: $(b,SCALEFREE_CORPUS) if set, else no cache")
+  in
   Term.(
-    const (fun metrics no_obs trace progress jobs -> { metrics; no_obs; trace; progress; jobs })
-    $ metrics $ no_obs $ trace $ progress $ jobs)
+    const (fun metrics no_obs trace progress jobs corpus ->
+        { metrics; no_obs; trace; progress; jobs; corpus })
+    $ metrics $ no_obs $ trace $ progress $ jobs $ corpus)
 
 type session = {
   flight : Sf_obs.Flight.t option;
@@ -77,6 +89,8 @@ let start (t : t) =
   | Some j when j < 1 -> invalid_arg "--jobs: need at least 1"
   | Some j -> Sf_parallel.Pool.set_default_jobs j
   | None -> ());
+  (* before any domains spawn: the corpus handle is a process global *)
+  Sf_store.Corpus.configure ?dir:t.corpus ();
   if t.no_obs then Sf_obs.Registry.set_enabled false;
   (* Sys.time sums CPU across all domains, so cpu/wall is the achieved
      parallel speedup recorded in the manifest *)
@@ -112,6 +126,18 @@ let perf_extra session =
     ("parallel_speedup", Sf_obs.Export.json_float (if wall_s > 0. then cpu_s /. wall_s else 1.));
   ]
 
+(* recorded in the manifest so a warm-cache run is auditable: the
+   cache.hit/miss counters say what happened, corpus_dir says where *)
+let corpus_extra () =
+  match Sf_store.Corpus.cache () with
+  | None -> []
+  | Some cache ->
+    [
+      ("corpus_dir", Sf_obs.Export.json_string (Sf_store.Cache.dir cache));
+      ("corpus_entries", string_of_int (List.length (Sf_store.Cache.entries cache)));
+      ("corpus_bytes", string_of_int (Sf_store.Cache.total_bytes cache));
+    ]
+
 (* [extra] is a thunk: manifest extras (instance sizes, strategy
    names) are typically computed inside the body, after the session
    has already started. *)
@@ -125,7 +151,7 @@ let finish (t : t) session ?(extra = fun () -> []) ~tool ~seed ~mode code =
   | Some path -> (
     match
       Sf_obs.Export.write_manifest_checked
-        ~extra:(perf_extra session @ extra ())
+        ~extra:(perf_extra session @ corpus_extra () @ extra ())
         ~tool ~seed ~mode ~path ()
     with
     | `Written ->

@@ -20,6 +20,11 @@ type t = {
   jobs : int option;
       (** [--jobs N]: worker domains for the parallel sections;
           [None] keeps {!Sf_parallel.Pool.default_jobs} *)
+  corpus : string option;
+      (** [--corpus DIR]: content-addressed graph corpus cache
+          (doc/STORAGE.md); falls back to [SCALEFREE_CORPUS], else no
+          cache. When active, the manifest extras record [corpus_dir],
+          [corpus_entries] and [corpus_bytes]. *)
 }
 
 val term : t Cmdliner.Term.t

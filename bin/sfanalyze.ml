@@ -59,7 +59,7 @@ let run model n p m alpha exponent seed graph_file distances (obs : Obs_cli.t) =
   let rng = Sf_prng.Rng.of_seed seed in
   let g =
     match graph_file with
-    | Some path -> Sf_graph.Gio.read_edge_list ~path
+    | Some path -> Sf_store.Codec.read_any_file ~path
     | None -> (
       match model with
       | "mori" -> Sf_gen.Mori.graph rng ~p ~m ~n
@@ -84,7 +84,11 @@ let m_arg = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Out-degree / merge facto
 let alpha_arg = Arg.(value & opt float 0.5 & info [ "alpha" ] ~doc:"Cooper-Frieze alpha")
 let exponent_arg = Arg.(value & opt float 2.3 & info [ "exponent" ] ~doc:"Config-model exponent")
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
-let graph_arg = Arg.(value & opt (some string) None & info [ "graph" ] ~doc:"Edge-list file to analyse")
+let graph_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "graph" ] ~doc:"Graph file to analyse (edge list or binary, sniffed by magic)")
 let distances_arg = Arg.(value & flag & info [ "distances" ] ~doc:"Also estimate diameter and mean distance")
 
 let cmd =

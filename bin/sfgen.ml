@@ -3,6 +3,7 @@
 
    Examples:
      sfgen mori -n 10000 -p 0.5 --seed 7 --out g.edges
+     sfgen mori -n 10000 -p 0.5 --seed 7 --out g.sfg --format bin
      sfgen cooper-frieze -n 5000 --alpha 0.9 --stats
      sfgen config -n 100000 --exponent 2.3 --out -
      sfgen kleinberg --side 64 --r 2.0 --dot grid.dot *)
@@ -44,7 +45,7 @@ let print_stats g =
     (try Sf_stats.Histogram.render (Sf_stats.Histogram.logarithmic in_deg ())
      with Invalid_argument _ -> "(no positive indegrees)\n")
 
-let run model n p m alpha exponent d_min side r q seed out dot stats (obs : Obs_cli.t) =
+let run model n p m alpha exponent d_min side r q seed out format dot stats (obs : Obs_cli.t) =
   Obs_cli.with_session obs ~tool:"sfgen" ~seed ~mode:model @@ fun () ->
   match
     generate_graph ~model ~n ~p ~m ~alpha ~exponent ~d_min ~side ~r ~q ~seed
@@ -53,12 +54,18 @@ let run model n p m alpha exponent d_min side r q seed out dot stats (obs : Obs_
     Printf.eprintf "sfgen: %s\n" msg;
     1
   | Ok g ->
-    (match out with
-    | Some "-" -> print_string (Sf_graph.Gio.to_edge_list g)
-    | Some path ->
+    (match (out, format) with
+    | Some "-", `Edges -> print_string (Sf_graph.Gio.to_edge_list g)
+    | Some "-", `Bin ->
+      set_binary_mode_out stdout true;
+      print_string (Sf_store.Codec.encode g)
+    | Some path, `Edges ->
       Sf_graph.Gio.write_edge_list g ~path;
       Printf.printf "wrote %s\n" path
-    | None -> ());
+    | Some path, `Bin ->
+      Sf_store.Codec.write_graph_file g ~path;
+      Printf.printf "wrote %s\n" path
+    | None, _ -> ());
     (match dot with
     | Some path ->
       let oc = open_out path in
@@ -85,7 +92,17 @@ let side_arg = Arg.(value & opt int 32 & info [ "side" ] ~doc:"Kleinberg grid si
 let r_arg = Arg.(value & opt float 2.0 & info [ "r" ] ~doc:"Kleinberg clustering exponent")
 let q_arg = Arg.(value & opt int 1 & info [ "q" ] ~doc:"Kleinberg long-range links per vertex")
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
-let out_arg = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Edge-list output path ('-' for stdout)")
+let out_arg = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Graph output path ('-' for stdout)")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("edges", `Edges); ("bin", `Bin) ]) `Edges
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format for --out: $(b,edges) (text edge list) or $(b,bin) (the \
+           versioned binary graph format of doc/STORAGE.md — exact round trip \
+           including edge-insertion order)")
 let dot_arg = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"GraphViz DOT output path")
 let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print summary statistics")
 
@@ -95,6 +112,7 @@ let cmd =
     (Cmd.info "sfgen" ~doc)
     Term.(
       const run $ model_arg $ n_arg $ p_arg $ m_arg $ alpha_arg $ exponent_arg $ d_min_arg
-      $ side_arg $ r_arg $ q_arg $ seed_arg $ out_arg $ dot_arg $ stats_arg $ Obs_cli.term)
+      $ side_arg $ r_arg $ q_arg $ seed_arg $ out_arg $ format_arg $ dot_arg $ stats_arg
+      $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,7 +30,7 @@ let run model n p m alpha exponent strategy_name source target trials budget see
   let graph, default_target =
     match graph_file with
     | Some path ->
-      let g = Sf_graph.Gio.read_edge_list ~path in
+      let g = Sf_store.Codec.read_any_file ~path in
       (Sf_graph.Ugraph.of_digraph g, Sf_graph.Digraph.n_vertices g)
     | None -> (
       match model with
@@ -155,7 +155,12 @@ let target_arg = Arg.(value & opt (some int) None & info [ "target" ] ~doc:"Targ
 let trials_arg = Arg.(value & opt int 10 & info [ "trials" ] ~doc:"Independent searches")
 let budget_arg = Arg.(value & opt (some int) None & info [ "budget" ] ~doc:"Request budget per search")
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
-let graph_arg = Arg.(value & opt (some string) None & info [ "graph" ] ~doc:"Load an edge-list file instead of generating")
+let graph_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "graph" ]
+        ~doc:"Load a graph file (edge list or binary, sniffed by magic) instead of generating")
 let trace_csv_arg =
   Arg.(value & opt (some string) None & info [ "trace-csv" ] ~doc:"Write the first trial's request trace to this CSV file")
 

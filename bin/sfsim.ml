@@ -15,7 +15,7 @@ let parse_latency s =
   | [ "exp"; mean ] -> Sf_sim.Network.Exponential (float_of_string mean)
   | _ -> failwith "latency: const:C | uniform:LO:HI | exp:MEAN"
 
-let run protocol_name n exponent ttl k q trials seed latency (obs : Obs_cli.t) =
+let run protocol_name n exponent ttl k q trials seed latency graph_file (obs : Obs_cli.t) =
   Obs_cli.with_session obs ~tool:"sfsim" ~seed ~mode:protocol_name @@ fun () ->
   let rng = Sf_prng.Rng.of_seed seed in
   let protocol =
@@ -25,12 +25,17 @@ let run protocol_name n exponent ttl k q trials seed latency (obs : Obs_cli.t) =
     | "percolation" -> Sf_sim.Query_sim.Percolation { q; ttl }
     | other -> failwith ("unknown protocol: " ^ other ^ " (flood | walkers | percolation)")
   in
-  let g = Sf_gen.Config_model.searchable_power_law rng ~n ~exponent () in
+  let g, overlay_desc =
+    match graph_file with
+    | Some path ->
+      (Sf_store.Codec.read_any_file ~path, Printf.sprintf "loaded from %s" path)
+    | None ->
+      ( Sf_gen.Config_model.searchable_power_law rng ~n ~exponent (),
+        Printf.sprintf "power-law giant component, exponent %.2f" exponent )
+  in
   let net = Sf_sim.Network.create ~latency:(parse_latency latency) (Sf_graph.Ugraph.of_digraph g) in
   let n' = Sf_sim.Network.n_nodes net in
-  Printf.printf "overlay: %s peers (power-law giant component, exponent %.2f)\n"
-    (Sf_stats.Table.fmt_int_grouped n')
-    exponent;
+  Printf.printf "overlay: %s peers (%s)\n" (Sf_stats.Table.fmt_int_grouped n') overlay_desc;
   let hits = ref 0 in
   let messages = Sf_stats.Summary.create () in
   let contacted = Sf_stats.Summary.create () in
@@ -88,11 +93,20 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
 let latency_arg =
   Arg.(value & opt string "uniform:0.5:1.5" & info [ "latency" ] ~doc:"const:C | uniform:LO:HI | exp:MEAN")
 
+let graph_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "graph" ]
+        ~doc:
+          "Use this graph file as the overlay (edge list or binary, sniffed by magic) \
+           instead of generating a configuration model")
+
 let cmd =
   let doc = "simulate P2P query dissemination protocols" in
   Cmd.v (Cmd.info "sfsim" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ exponent_arg $ ttl_arg $ k_arg $ q_arg $ trials_arg
-      $ seed_arg $ latency_arg $ Obs_cli.term)
+      $ seed_arg $ latency_arg $ graph_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -48,14 +48,19 @@ let trial_cost spec outcome =
   | Some r -> (float_of_int r, false)
   | None -> (float_of_int outcome.Runner.total_requests, true)
 
+(* A unique, order-independent stream per cell and trial.  Public so
+   sfcorpus build can pre-generate exactly the graphs a later measure
+   grid will request from the corpus cache (lib/store). *)
+let trial_rng master ~size_idx ~strat_idx ~trial =
+  let key = (((size_idx * 97) + strat_idx) * 65_537) + trial in
+  Rng.split_at master key
+
 (* One independent trial: the parallel unit of work.  Everything here
    is either freshly built from the trial's split stream or routed
    through the capture-aware Sf_obs layer, so trials may run on any
    domain in any order. *)
 let run_trial master spec ~make ~strategy ~n ~size_idx ~strat_idx ~trial =
-  (* A unique, order-independent stream per cell and trial. *)
-  let key = (((size_idx * 97) + strat_idx) * 65_537) + trial in
-  let rng = Rng.split_at master key in
+  let rng = trial_rng master ~size_idx ~strat_idx ~trial in
   (* Trace events, not Span.with_span: thousands of trials would bloat
      the manifest's span forest, while the stream costs nothing with no
      sink attached. *)
@@ -148,22 +153,65 @@ let measure ?jobs master ~make ~strategies ~sizes ~spec =
     sizes_a;
   List.rev !points
 
+(* --- corpus-cached instance makers (doc/STORAGE.md) ----------------
+
+   [cached] routes a maker through the ambient corpus cache: with no
+   corpus configured it is the maker itself; with one, each (gen,
+   params, n, trial-stream) coordinate is generated once, stored in
+   the binary format, and replayed — including the post-generation rng
+   state, so results are byte-identical either way.  The [params] list
+   must render every value the maker closes over. *)
+
+let fparam = Printf.sprintf "%.17g"
+
+let cached ~gen ~params make rng n = Sf_store.Corpus.instance ~gen ~params make rng n
+
 let mori_instance ~p ~m rng n =
-  let bound = Lower_bound.theorem1 ~p ~m ~n in
-  let g = Sf_gen.Mori.graph rng ~p ~m ~n:bound.Lower_bound.graph_size in
-  (Ugraph.of_digraph g, n)
+  cached ~gen:"mori"
+    ~params:[ ("p", fparam p); ("m", string_of_int m) ]
+    (fun rng n ->
+      let bound = Lower_bound.theorem1 ~p ~m ~n in
+      let g = Sf_gen.Mori.graph rng ~p ~m ~n:bound.Lower_bound.graph_size in
+      (Ugraph.of_digraph g, n))
+    rng n
+
+let cf_params_rendered (params : Sf_gen.Cooper_frieze.params) =
+  let dist d =
+    d
+    |> List.map (fun (v, prob) -> Printf.sprintf "%d:%s" v (fparam prob))
+    |> String.concat ";"
+  in
+  [
+    ("alpha", fparam params.Sf_gen.Cooper_frieze.alpha);
+    ("beta", fparam params.Sf_gen.Cooper_frieze.beta);
+    ("gamma", fparam params.Sf_gen.Cooper_frieze.gamma);
+    ("delta", fparam params.Sf_gen.Cooper_frieze.delta);
+    ("q", dist params.Sf_gen.Cooper_frieze.q);
+    ("p_dist", dist params.Sf_gen.Cooper_frieze.p_dist);
+    ( "pref",
+      match params.Sf_gen.Cooper_frieze.preference with
+      | Sf_gen.Cooper_frieze.In_degree -> "in"
+      | Sf_gen.Cooper_frieze.Total_degree -> "total" );
+  ]
 
 let cooper_frieze_instance params rng n =
-  let extra = int_of_float (sqrt (float_of_int n)) in
-  let g = Sf_gen.Cooper_frieze.generate_n_vertices rng params ~n:(n + extra) in
-  (Ugraph.of_digraph g, n)
+  cached ~gen:"cooper-frieze" ~params:(cf_params_rendered params)
+    (fun rng n ->
+      let extra = int_of_float (sqrt (float_of_int n)) in
+      let g = Sf_gen.Cooper_frieze.generate_n_vertices rng params ~n:(n + extra) in
+      (Ugraph.of_digraph g, n))
+    rng n
 
 let config_model_instance ~exponent rng n =
-  let g = Sf_gen.Config_model.searchable_power_law rng ~n ~exponent () in
-  let u = Ugraph.of_digraph g in
-  let n' = Ugraph.n_vertices u in
-  let target = if n' <= 1 then 1 else 2 + Rng.int rng (n' - 1) in
-  (u, target)
+  cached ~gen:"config-giant"
+    ~params:[ ("exponent", fparam exponent) ]
+    (fun rng n ->
+      let g = Sf_gen.Config_model.searchable_power_law rng ~n ~exponent () in
+      let u = Ugraph.of_digraph g in
+      let n' = Ugraph.n_vertices u in
+      let target = if n' <= 1 then 1 else 2 + Rng.int rng (n' - 1) in
+      (u, target))
+    rng n
 
 let points_to_csv points =
   Sf_stats.Csv.to_string

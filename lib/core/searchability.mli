@@ -68,6 +68,23 @@ val measure :
     returns a non-positive budget for any requested size — a budget of
     zero would silently record every trial as a timeout. *)
 
+val trial_rng :
+  Sf_prng.Rng.t -> size_idx:int -> strat_idx:int -> trial:int -> Sf_prng.Rng.t
+(** The split stream a {!measure} grid hands to the given (size,
+    strategy, trial) cell. Exposed so [sfcorpus build] can pre-generate
+    exactly the graphs a later grid run will request from the corpus
+    cache (doc/STORAGE.md). *)
+
+(** {2 Instance makers}
+
+    The three makers below build one fresh problem instance per trial.
+    Each routes through {!Sf_store.Corpus.instance}: with no corpus
+    configured they generate directly; with one ([--corpus] /
+    [SCALEFREE_CORPUS]), generated graphs are stored in the binary
+    format keyed by (generator, parameters, n, trial stream) and
+    replayed on later runs — byte-identical results either way, since
+    a cache hit also restores the post-generation rng state. *)
+
 val mori_instance :
   p:float -> m:int -> Sf_prng.Rng.t -> int -> Sf_graph.Ugraph.t * int
 (** The Theorem 1 workload: the merged Móri graph sized

@@ -8,10 +8,18 @@
 val to_edge_list : Digraph.t -> string
 
 val of_edge_list : string -> Digraph.t
-(** @raise Failure on malformed input. *)
+(** Strict parse: the declared [n m] header must match the body
+    exactly — fewer edge lines than [m] is an edge-count mismatch,
+    more is trailing garbage; endpoints outside [1..n], non-decimal
+    integers and extra tokens are rejected.
+    @raise Failure on malformed input, with a message naming the
+    problem. *)
 
 val write_edge_list : Digraph.t -> path:string -> unit
+
 val read_edge_list : path:string -> Digraph.t
+(** @raise Failure on I/O or parse errors; parse failures are prefixed
+    with the path. *)
 
 val to_dot : ?name:string -> ?highlight:int list -> Digraph.t -> string
 (** Directed DOT rendering; [highlight] vertices are filled. Intended

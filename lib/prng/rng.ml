@@ -103,6 +103,15 @@ let jump t =
   t.s2 <- !s2;
   t.s3 <- !s3
 
+let state_words t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let set_state_words t w =
+  if Array.length w <> 4 then invalid_arg "Rng.set_state_words: need exactly 4 words";
+  t.s0 <- w.(0);
+  t.s1 <- w.(1);
+  t.s2 <- w.(2);
+  t.s3 <- w.(3)
+
 let state_fingerprint t =
   let _, h0 = splitmix64_next t.s0 in
   let _, h1 = splitmix64_next (Int64.logxor h0 t.s1) in

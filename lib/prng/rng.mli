@@ -65,3 +65,14 @@ val jump : t -> unit
 
 val state_fingerprint : t -> int64
 (** Hash of the current state, for tests that detect state divergence. *)
+
+val state_words : t -> int64 array
+(** The four xoshiro256++ state words, as a fresh array. Together with
+    {!set_state_words} this lets a cache (lib/store) snapshot a stream
+    after graph generation and resume it on a cache hit, so a run that
+    skips generation consumes exactly the same stream as one that does
+    not. *)
+
+val set_state_words : t -> int64 array -> unit
+(** Restore a state captured by {!state_words}.
+    @raise Invalid_argument unless given exactly four words. *)

@@ -1,0 +1,23 @@
+type t =
+  | Truncated of string
+  | Bad_magic
+  | Unsupported_version of int
+  | Checksum_mismatch of { stored : int32; computed : int32 }
+  | Malformed of string
+
+exception Error of t
+
+let to_string = function
+  | Truncated what -> Printf.sprintf "truncated input (%s)" what
+  | Bad_magic -> "bad magic: not a binary graph file"
+  | Unsupported_version v -> Printf.sprintf "unsupported format version %d" v
+  | Checksum_mismatch { stored; computed } ->
+    Printf.sprintf "checksum mismatch: stored %08lx, computed %08lx" stored computed
+  | Malformed what -> Printf.sprintf "malformed payload (%s)" what
+
+let fail e = raise (Error e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Sf_store.Codec_error.Error: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,29 @@
+type key = {
+  gen : string;
+  params : (string * string) list;
+  n : int;
+  stream : string;
+}
+
+let rng_token rng =
+  Sf_prng.Rng.state_words rng
+  |> Array.map (fun w -> Printf.sprintf "%016Lx" w)
+  |> Array.to_list |> String.concat ""
+
+let restore rng token =
+  if String.length token <> 64 then invalid_arg "Fingerprint.restore: malformed rng token";
+  let word i =
+    try Int64.of_string ("0x" ^ String.sub token (16 * i) 16)
+    with Failure _ -> invalid_arg "Fingerprint.restore: malformed rng token"
+  in
+  Sf_prng.Rng.set_state_words rng (Array.init 4 word)
+
+let canonical k =
+  let params = List.map (fun (name, v) -> name ^ "=" ^ v) k.params |> String.concat "&" in
+  Printf.sprintf "%s?%s#n=%d@%s" k.gen params k.n k.stream
+
+let hex k = Digest.to_hex (Digest.string (canonical k))
+
+let describe k =
+  let params = List.map (fun (name, v) -> name ^ "=" ^ v) k.params |> String.concat "," in
+  Printf.sprintf "%s(%s) n=%d" k.gen params k.n

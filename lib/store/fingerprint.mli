@@ -1,0 +1,43 @@
+(** Content addresses of corpus entries.
+
+    A cache key names a {e generation coordinate}: which generator,
+    with which parameters, at which size, fed by which random stream.
+    Two coordinates collide exactly when they would generate the same
+    graph, so the address is a pure function of the coordinate and
+    per-coordinate fingerprints stay deterministic under any [--jobs]
+    schedule (doc/PARALLELISM.md).
+
+    The stream component is the {e full generator state}
+    ({!Sf_prng.Rng.state_words}), not the user-facing seed: trial [i]
+    of a grid owns the split stream [split_at master key], and its
+    coordinate must differ from trial [j]'s even though both descend
+    from the same seed. *)
+
+type key = {
+  gen : string;  (** generator id, e.g. ["mori"] *)
+  params : (string * string) list;  (** rendered parameters, in a fixed order *)
+  n : int;  (** requested problem size *)
+  stream : string;  (** rng-state token from {!rng_token} *)
+}
+
+val rng_token : Sf_prng.Rng.t -> string
+(** The generator's current state as 64 hex digits; does not advance
+    the stream. *)
+
+val restore : Sf_prng.Rng.t -> string -> unit
+(** Set a generator to the state captured in a {!rng_token}. The
+    corpus cache stores the post-generation token with every entry and
+    replays it on a hit, so a run that loads a graph leaves the trial
+    stream exactly where a run that generated it would — the
+    determinism contract of doc/STORAGE.md.
+    @raise Invalid_argument on a malformed token. *)
+
+val hex : key -> string
+(** The content address: the MD5 digest (32 lowercase hex digits) of
+    the canonical rendering
+    [gen ^ "?" ^ k1 ^ "=" ^ v1 ^ "&" ^ … ^ "#n=" ^ n ^ "@" ^ stream].
+    Parameter order is preserved, so callers must render parameters in
+    a fixed order. *)
+
+val describe : key -> string
+(** Human-readable coordinate for index lines and [sfcorpus ls]. *)

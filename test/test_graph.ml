@@ -288,16 +288,41 @@ let test_edge_list_file_roundtrip () =
       let g' = Gio.read_edge_list ~path in
       Alcotest.(check bool) "file roundtrip" true (Digraph.equal_structure g g'))
 
-let test_edge_list_rejects_garbage () =
-  Alcotest.check_raises "bad header" (Failure "Gio.of_edge_list: bad header") (fun () ->
-      ignore (Gio.of_edge_list "x y\n"));
-  Alcotest.check_raises "edge count mismatch" (Failure "Gio.of_edge_list: edge count mismatch")
-    (fun () -> ignore (Gio.of_edge_list "2 5\n1 2\n"))
-
 let contains_substring haystack needle =
   let nl = String.length needle and hl = String.length haystack in
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
   go 0
+
+let check_parse_fails name ~needle text =
+  match Gio.of_edge_list text with
+  | _ -> Alcotest.failf "%s: parse should have failed" name
+  | exception Failure msg ->
+    Alcotest.(check bool) (name ^ ": message mentions " ^ needle) true
+      (contains_substring msg needle)
+
+let test_edge_list_rejects_garbage () =
+  Alcotest.check_raises "bad header" (Failure "Gio.of_edge_list: bad header") (fun () ->
+      ignore (Gio.of_edge_list "x y\n"));
+  check_parse_fails "too few edges" ~needle:"edge count mismatch" "2 5\n1 2\n";
+  check_parse_fails "trailing garbage" ~needle:"trailing garbage" "2 1\n1 2\n2 1\n";
+  check_parse_fails "trailing word" ~needle:"trailing garbage" "2 1\n1 2\nEOF\n";
+  check_parse_fails "endpoint out of range" ~needle:"outside vertex range" "2 1\n1 3\n";
+  check_parse_fails "three tokens" ~needle:"bad edge line" "2 1\n1 2 9\n";
+  check_parse_fails "hex endpoint" ~needle:"bad edge line" "2 1\n1 0x2\n";
+  check_parse_fails "negative header" ~needle:"bad header" "-2 1\n1 2\n"
+
+let test_read_edge_list_names_path () =
+  let path = Filename.temp_file "sfgraph" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "2 5\n1 2\n";
+      close_out oc;
+      match Gio.read_edge_list ~path with
+      | _ -> Alcotest.fail "parse should have failed"
+      | exception Failure msg ->
+        Alcotest.(check bool) "failure names the file" true (contains_substring msg path))
 
 let test_dot_output () =
   let g = Digraph.of_edges ~n:2 [ (1, 2) ] in
@@ -537,6 +562,7 @@ let suite =
     ("edge list roundtrip", `Quick, test_edge_list_roundtrip);
     ("edge list file roundtrip", `Quick, test_edge_list_file_roundtrip);
     ("edge list rejects garbage", `Quick, test_edge_list_rejects_garbage);
+    ("read_edge_list names the path", `Quick, test_read_edge_list_names_path);
     ("dot output", `Quick, test_dot_output);
     ("induced subgraph", `Quick, test_induced_subgraph);
     ("largest component subgraph", `Quick, test_largest_component_subgraph);

@@ -11,6 +11,7 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("store", Test_store.suite);
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
     ]

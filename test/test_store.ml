@@ -1,0 +1,479 @@
+(* The storage battery for lib/store: codec exactness, decode
+   strictness under mutilated input, cache protocol (hit / miss /
+   evict / corrupt-fallback), and the corpus determinism contract —
+   cold and warm measurement grids byte-identical at any job count
+   (doc/STORAGE.md). *)
+
+module Codec = Sf_store.Codec
+module Codec_error = Sf_store.Codec_error
+module Varint = Sf_store.Varint
+module Crc32 = Sf_store.Crc32
+module Cache = Sf_store.Cache
+module Corpus = Sf_store.Corpus
+module Fingerprint = Sf_store.Fingerprint
+module Digraph = Sf_graph.Digraph
+module Ugraph = Sf_graph.Ugraph
+module Rng = Sf_prng.Rng
+module Registry = Sf_obs.Registry
+module Searchability = Sf_core.Searchability
+
+(* the registry hands back the same instance cache.ml declared, so the
+   tests can assert on the real counters *)
+let c_hit = Registry.counter "cache.hit"
+let c_miss = Registry.counter "cache.miss"
+let c_evict = Registry.counter "cache.evict"
+let c_corrupt = Registry.counter "cache.corrupt"
+
+let temp_counter = ref 0
+
+let with_temp_dir body =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sf-store-test-%d-%d" (Unix.getpid ()) !temp_counter)
+  in
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> body dir)
+
+let with_cache body =
+  with_temp_dir (fun dir ->
+      let cache = Cache.open_dir dir in
+      Fun.protect ~finally:(fun () -> Cache.close cache) (fun () -> body dir cache))
+
+(* exact equality: same vertices and the same (id, src, dst) sequence
+   — stronger than Digraph.equal_structure, which ignores order *)
+let same_graph a b =
+  Digraph.n_vertices a = Digraph.n_vertices b && Digraph.edges a = Digraph.edges b
+
+let check_same_graph what a b =
+  Alcotest.(check bool) (what ^ ": exact round trip") true (same_graph a b)
+
+let key ?(gen = "test") ?(params = []) ?(n = 10) ?(stream = String.make 64 '0') () =
+  { Fingerprint.gen; params; n; stream }
+
+(* ---------------------------------------------------------------- *)
+(* Varint and CRC32                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let test_varint_roundtrip () =
+  let cases = [ 0; 1; 127; 128; 255; 16_383; 16_384; 1 lsl 40; max_int ] in
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 10 in
+      Varint.write buf v;
+      let s = Buffer.contents buf in
+      let v', pos = Varint.read s ~pos:0 in
+      Alcotest.(check int) (Printf.sprintf "varint %d" v) v v';
+      Alcotest.(check int) "consumed all bytes" (String.length s) pos)
+    cases;
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 10 in
+      Varint.write_signed buf v;
+      let v', _ = Varint.read_signed (Buffer.contents buf) ~pos:0 in
+      Alcotest.(check int) (Printf.sprintf "signed varint %d" v) v v')
+    (* zigzag needs one spare bit: the representable range is
+       |v| <= 2^61 - 1, far beyond any vertex delta *)
+    [ 0; -1; 1; -64; 64; -16_384; (1 lsl 60) - 1; -(1 lsl 60) ]
+
+let test_varint_truncation () =
+  let buf = Buffer.create 10 in
+  Varint.write buf (1 lsl 40);
+  let s = Buffer.contents buf in
+  for len = 0 to String.length s - 1 do
+    match Varint.read (String.sub s 0 len) ~pos:0 with
+    | _ -> Alcotest.failf "varint accepted a %d-byte truncation" len
+    | exception Codec_error.Error (Codec_error.Truncated _) -> ()
+  done
+
+let test_crc32_known_value () =
+  (* the standard test vector for reflected CRC-32 (0xEDB88320) *)
+  Alcotest.(check int32)
+    "crc32 of '123456789'" 0xCBF43926l
+    (Crc32.string "123456789")
+
+(* ---------------------------------------------------------------- *)
+(* Codec round trips                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let test_codec_small_graphs () =
+  let empty = Digraph.create () in
+  check_same_graph "empty" empty (Codec.decode (Codec.encode empty));
+  let single = Digraph.of_edges ~n:1 [] in
+  check_same_graph "single vertex" single (Codec.decode (Codec.encode single));
+  let loops = Digraph.of_edges ~n:3 [ (1, 1); (1, 2); (1, 2); (3, 1); (2, 2) ] in
+  check_same_graph "loops and parallels" loops (Codec.decode (Codec.encode loops))
+
+let test_codec_preserves_insertion_order () =
+  (* edges 'out of source order' force the permutation section: vertex
+     1 gains an edge after vertex 3 already has one *)
+  let g = Digraph.of_edges ~n:3 [ (3, 1); (1, 2); (2, 3); (1, 3) ] in
+  let g' = Codec.decode (Codec.encode g) in
+  check_same_graph "non-monotone insertion order" g g';
+  Alcotest.(check bool)
+    "edge ids double as timestamps" true
+    (List.map (fun e -> (e.Digraph.id, e.Digraph.src, e.Digraph.dst)) (Digraph.edges g')
+    = [ (0, 3, 1); (1, 1, 2); (2, 2, 3); (3, 1, 3) ])
+
+let random_model_graph rng =
+  match Rng.int rng 3 with
+  | 0 -> Sf_gen.Mori.graph rng ~p:0.6 ~m:(1 + Rng.int rng 3) ~n:(2 + Rng.int rng 60)
+  | 1 ->
+    Sf_gen.Cooper_frieze.generate_n_vertices rng Sf_gen.Cooper_frieze.default
+      ~n:(2 + Rng.int rng 60)
+  | _ ->
+    let n = 2 + Rng.int rng 60 in
+    Sf_gen.Erdos_renyi.gnm rng ~n ~m:(Rng.int rng (max 1 (n * (n - 1) / 4)))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"codec round-trips model graphs exactly"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.of_seed seed in
+      let g = random_model_graph rng in
+      let g' = Codec.decode (Codec.encode g) in
+      (* structural equality plus a search replay: the decoded graph
+         must drive a search to the same outcome from the same
+         stream *)
+      let search graph =
+        let u = Ugraph.of_digraph graph in
+        let n = Ugraph.n_vertices u in
+        Sf_search.Runner.search ~budget:(4 * n) ~rng:(Rng.of_seed (seed + 1)) u
+          Sf_search.Strategies.high_degree ~source:1 ~target:n
+      in
+      same_graph g g' && search g = search g')
+
+let qcheck_ugraph_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"ugraph codec round trip is exact"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.of_seed seed in
+      let g = random_model_graph rng in
+      let u = Ugraph.of_digraph g in
+      let u' = Codec.decode_ugraph (Codec.encode_ugraph u) in
+      Ugraph.n_vertices u = Ugraph.n_vertices u'
+      && Ugraph.n_edges u = Ugraph.n_edges u'
+      && List.init (Ugraph.n_edges u) (fun i -> Ugraph.endpoints u i)
+         = List.init (Ugraph.n_edges u') (fun i -> Ugraph.endpoints u' i))
+
+(* ---------------------------------------------------------------- *)
+(* Decode strictness                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let expect_codec_error what thunk =
+  match thunk () with
+  | (_ : Digraph.t) -> Alcotest.failf "%s: decode accepted malformed input" what
+  | exception Codec_error.Error _ -> ()
+
+let test_decode_rejects_basics () =
+  expect_codec_error "empty" (fun () -> Codec.decode "");
+  expect_codec_error "bad magic" (fun () -> Codec.decode "NOPE\x01\x00\x00\x00");
+  let good = Codec.encode (Digraph.of_edges ~n:4 [ (1, 2); (2, 3); (3, 4) ]) in
+  let bumped = Bytes.of_string good in
+  Bytes.set bumped 4 '\x7f';
+  expect_codec_error "unsupported version" (fun () -> Codec.decode (Bytes.to_string bumped));
+  expect_codec_error "trailing garbage" (fun () -> Codec.decode (good ^ "\x00"))
+
+let test_decode_rejects_truncations () =
+  let good = Codec.encode (Digraph.of_edges ~n:5 [ (1, 2); (1, 3); (2, 4); (4, 5); (5, 1) ]) in
+  for len = 0 to String.length good - 1 do
+    expect_codec_error
+      (Printf.sprintf "truncation to %d bytes" len)
+      (fun () -> Codec.decode (String.sub good 0 len))
+  done
+
+let test_decode_rejects_bit_flips () =
+  let rng = Rng.of_seed 99 in
+  let g = Sf_gen.Mori.graph rng ~p:0.5 ~m:2 ~n:40 in
+  let good = Codec.encode g in
+  String.iteri
+    (fun i _ ->
+      let bit = 1 lsl Rng.int rng 8 in
+      let mutated = Bytes.of_string good in
+      Bytes.set mutated i (Char.chr (Char.code (Bytes.get mutated i) lxor bit));
+      expect_codec_error
+        (Printf.sprintf "bit flip at byte %d" i)
+        (fun () -> Codec.decode (Bytes.to_string mutated)))
+    good
+
+let test_read_any_file_dispatch () =
+  with_temp_dir (fun dir ->
+      let g = Digraph.of_edges ~n:3 [ (1, 2); (2, 3) ] in
+      let bin = Filename.concat dir "g.sfg" and txt = Filename.concat dir "g.edges" in
+      Codec.write_graph_file g ~path:bin;
+      Sf_graph.Gio.write_edge_list g ~path:txt;
+      check_same_graph "binary branch" g (Codec.read_any_file ~path:bin);
+      check_same_graph "edge-list branch" g (Codec.read_any_file ~path:txt);
+      Alcotest.(check bool) "sniff" true (Codec.looks_binary (Codec.encode g));
+      Alcotest.(check bool) "edge lists do not sniff binary" false (Codec.looks_binary "3 2\n"))
+
+(* ---------------------------------------------------------------- *)
+(* Fingerprints                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let test_fingerprint_distinct_coordinates () =
+  let base = key () in
+  let hexes =
+    List.map Fingerprint.hex
+      [
+        base;
+        { base with Fingerprint.gen = "other" };
+        { base with Fingerprint.params = [ ("p", "0.5") ] };
+        { base with Fingerprint.n = 11 };
+        { base with Fingerprint.stream = String.make 64 '1' };
+      ]
+  in
+  List.iter
+    (fun h -> Alcotest.(check int) "32 hex digits" 32 (String.length h))
+    hexes;
+  Alcotest.(check int) "all coordinates distinct" (List.length hexes)
+    (List.length (List.sort_uniq compare hexes))
+
+let test_rng_token_roundtrip () =
+  let rng = Rng.of_seed 5 in
+  for _ = 1 to 10 do
+    ignore (Rng.int rng 1000)
+  done;
+  let token = Fingerprint.rng_token rng in
+  let expected = List.init 8 (fun _ -> Rng.int rng 1_000_000) in
+  Fingerprint.restore rng token;
+  let replayed = List.init 8 (fun _ -> Rng.int rng 1_000_000) in
+  Alcotest.(check (list int)) "restore replays the stream" expected replayed;
+  Alcotest.check_raises "malformed token rejected"
+    (Invalid_argument "Fingerprint.restore: malformed rng token") (fun () ->
+      Fingerprint.restore rng "zz")
+
+(* ---------------------------------------------------------------- *)
+(* Cache protocol                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let test_cache_miss_then_hit () =
+  with_cache (fun _dir cache ->
+      let k = key ~n:4 () in
+      let g = Digraph.of_edges ~n:4 [ (1, 2); (2, 3); (3, 4) ] in
+      let misses0 = Sf_obs.Counter.value c_miss and hits0 = Sf_obs.Counter.value c_hit in
+      Alcotest.(check bool) "cold lookup misses" true (Cache.find cache k = None);
+      Alcotest.(check int) "cache.miss ticked" (misses0 + 1) (Sf_obs.Counter.value c_miss);
+      Cache.add cache k ~graph:g ~target:4 ~rng_after:(String.make 64 'a');
+      (match Cache.find cache k with
+      | None -> Alcotest.fail "warm lookup missed"
+      | Some (g', e) ->
+        check_same_graph "cached graph" g g';
+        Alcotest.(check int) "target" 4 e.Cache.target;
+        Alcotest.(check string) "rng token" (String.make 64 'a') e.Cache.rng_after);
+      Alcotest.(check int) "cache.hit ticked" (hits0 + 1) (Sf_obs.Counter.value c_hit);
+      Alcotest.(check bool) "mem" true (Cache.mem cache k))
+
+let test_cache_persists_across_reopen () =
+  with_temp_dir (fun dir ->
+      let k = key ~n:3 () in
+      let g = Digraph.of_edges ~n:3 [ (1, 2); (1, 3) ] in
+      let cache = Cache.open_dir dir in
+      Cache.add cache k ~graph:g ~target:3 ~rng_after:(String.make 64 'b');
+      Cache.close cache;
+      let cache = Cache.open_dir dir in
+      Fun.protect
+        ~finally:(fun () -> Cache.close cache)
+        (fun () ->
+          match Cache.find cache k with
+          | None -> Alcotest.fail "entry lost across reopen"
+          | Some (g', _) -> check_same_graph "reloaded graph" g g'))
+
+let test_cache_lru_eviction () =
+  with_cache (fun _dir cache ->
+      let graph i = Digraph.of_edges ~n:(i + 2) [ (1, 2); (2, i + 2) ] in
+      let keys = List.init 4 (fun i -> key ~n:(i + 2) ~params:[ ("i", string_of_int i) ] ()) in
+      List.iteri
+        (fun i k -> Cache.add cache k ~graph:(graph i) ~target:1 ~rng_after:(String.make 64 'c'))
+        keys;
+      (* touch entry 0: it becomes most recently used and must survive
+         an eviction that removes two entries *)
+      ignore (Cache.find cache (List.nth keys 0));
+      let bytes_of k =
+        (List.find (fun (e : Cache.entry) -> e.Cache.fp = Fingerprint.hex k) (Cache.entries cache))
+          .Cache.bytes
+      in
+      let keep = bytes_of (List.nth keys 0) + bytes_of (List.nth keys 3) in
+      let evict0 = Sf_obs.Counter.value c_evict in
+      let evicted = Cache.gc cache ~budget_bytes:keep in
+      Alcotest.(check int) "two evicted" 2 (List.length evicted);
+      Alcotest.(check int) "cache.evict ticked twice" (evict0 + 2) (Sf_obs.Counter.value c_evict);
+      Alcotest.(check (list string))
+        "LRU order: the untouched oldest entries go first"
+        [ Fingerprint.hex (List.nth keys 1); Fingerprint.hex (List.nth keys 2) ]
+        (List.map (fun (e : Cache.entry) -> e.Cache.fp) evicted);
+      Alcotest.(check bool) "touched entry survived" true (Cache.mem cache (List.nth keys 0));
+      Alcotest.(check bool) "gc is idempotent" true (Cache.gc cache ~budget_bytes:keep = []))
+
+let test_cache_corrupt_fallback () =
+  with_cache (fun dir cache ->
+      let k = key ~n:5 () in
+      let g = Digraph.of_edges ~n:5 [ (1, 2); (2, 3); (3, 4); (4, 5) ] in
+      Cache.add cache k ~graph:g ~target:5 ~rng_after:(String.make 64 'd');
+      (* flip one payload byte on disk: the checksum must catch it *)
+      let path = Filename.concat (Filename.concat dir "objects") (Fingerprint.hex k ^ ".sfg") in
+      let bytes = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      Bytes.set bytes 7 (Char.chr (Char.code (Bytes.get bytes 7) lxor 0x10));
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc bytes);
+      let corrupt0 = Sf_obs.Counter.value c_corrupt in
+      Alcotest.(check bool) "corrupt entry reads as a miss" true (Cache.find cache k = None);
+      Alcotest.(check int) "cache.corrupt ticked" (corrupt0 + 1) (Sf_obs.Counter.value c_corrupt);
+      Alcotest.(check bool) "entry evicted" false (Cache.mem cache k);
+      Alcotest.(check bool) "object file removed" false (Sys.file_exists path);
+      (* the protocol recovers: re-add and hit *)
+      Cache.add cache k ~graph:g ~target:5 ~rng_after:(String.make 64 'd');
+      Alcotest.(check bool) "regenerated entry hits" true (Cache.find cache k <> None))
+
+let test_cache_verify_reports_corruption () =
+  with_cache (fun dir cache ->
+      let k1 = key ~n:2 ~params:[ ("i", "1") ] () and k2 = key ~n:2 ~params:[ ("i", "2") ] () in
+      let g = Digraph.of_edges ~n:2 [ (1, 2) ] in
+      Cache.add cache k1 ~graph:g ~target:1 ~rng_after:(String.make 64 'e');
+      Cache.add cache k2 ~graph:g ~target:1 ~rng_after:(String.make 64 'e');
+      let path = Filename.concat (Filename.concat dir "objects") (Fingerprint.hex k2 ^ ".sfg") in
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "SFGB");
+      let bad =
+        Cache.verify cache
+        |> List.filter (fun ((_ : Cache.entry), status) -> Result.is_error status)
+      in
+      Alcotest.(check int) "exactly the truncated object fails" 1 (List.length bad);
+      Alcotest.(check string) "the right entry" (Fingerprint.hex k2)
+        (fst (List.hd bad)).Cache.fp)
+
+let test_cache_tolerates_index_garbage () =
+  with_temp_dir (fun dir ->
+      let k = key ~n:3 () in
+      let g = Digraph.of_edges ~n:3 [ (1, 2); (2, 3) ] in
+      let cache = Cache.open_dir dir in
+      Cache.add cache k ~graph:g ~target:3 ~rng_after:(String.make 64 'f');
+      Cache.close cache;
+      let index = Filename.concat dir "index.jsonl" in
+      let oc = open_out_gen [ Open_append ] 0o644 index in
+      output_string oc "not json at all\n{\"fp\":\"zz\",\"seq\":1}\n";
+      close_out oc;
+      let cache = Cache.open_dir dir in
+      Fun.protect
+        ~finally:(fun () -> Cache.close cache)
+        (fun () ->
+          Alcotest.(check int) "only the valid entry survives replay" 1
+            (List.length (Cache.entries cache));
+          Alcotest.(check bool) "and still hits" true (Cache.find cache k <> None)))
+
+(* ---------------------------------------------------------------- *)
+(* The corpus determinism contract                                   *)
+(* ---------------------------------------------------------------- *)
+
+let with_corpus cache body =
+  Corpus.set_cache (Some cache);
+  Fun.protect ~finally:(fun () -> Corpus.set_cache None) body
+
+(* a counting maker: cold runs generate, warm runs must not *)
+let counted_maker calls rng n =
+  Corpus.instance ~gen:"count-test" ~params:[]
+    (fun rng n ->
+      incr calls;
+      let g = Sf_gen.Mori.graph rng ~p:0.6 ~m:1 ~n in
+      (Ugraph.of_digraph g, n))
+    rng n
+
+let test_corpus_identity_when_unset () =
+  Corpus.set_cache None;
+  let calls = ref 0 in
+  let a = counted_maker calls (Rng.of_seed 11) 30 in
+  let b = counted_maker calls (Rng.of_seed 11) 30 in
+  Alcotest.(check int) "maker runs every time" 2 !calls;
+  Alcotest.(check bool) "and deterministically" true (a = b)
+
+let test_corpus_hit_skips_generation_and_restores_stream () =
+  with_cache (fun _dir cache ->
+      with_corpus cache (fun () ->
+          let calls = ref 0 in
+          let run () =
+            let rng = Rng.of_seed 21 in
+            let u, target = counted_maker calls rng 40 in
+            (* draws after the maker must see the post-generation
+               stream on both paths *)
+            (Ugraph.n_edges u, target, List.init 4 (fun _ -> Rng.int rng 1_000_000))
+          in
+          let cold = run () in
+          Alcotest.(check int) "cold run generated" 1 !calls;
+          let warm = run () in
+          Alcotest.(check int) "warm run did not generate" 1 !calls;
+          Alcotest.(check bool) "identical graph, target and stream" true (cold = warm)))
+
+let grid_csv ~jobs () =
+  let master = Rng.of_seed 4242 in
+  let spec = { Searchability.default_spec with Searchability.trials = 5 } in
+  let points =
+    Searchability.measure ~jobs master
+      ~make:(Searchability.mori_instance ~p:0.6 ~m:1)
+      ~strategies:[ Sf_search.Strategies.high_degree; Sf_search.Strategies.bfs ]
+      ~sizes:[ 40; 80 ] ~spec
+  in
+  Searchability.points_to_csv points
+
+let test_measure_golden_cold_warm_jobs () =
+  let baseline = grid_csv ~jobs:1 () in
+  with_cache (fun _dir cache ->
+      with_corpus cache (fun () ->
+          let miss0 = Sf_obs.Counter.value c_miss in
+          let cold = grid_csv ~jobs:1 () in
+          Alcotest.(check string) "cold = uncached baseline" baseline cold;
+          Alcotest.(check bool) "cold run populated the cache" true
+            (Sf_obs.Counter.value c_miss > miss0);
+          let miss1 = Sf_obs.Counter.value c_miss and hit1 = Sf_obs.Counter.value c_hit in
+          let warm1 = grid_csv ~jobs:1 () in
+          Alcotest.(check string) "warm jobs=1 byte-identical" baseline warm1;
+          Alcotest.(check int) "warm jobs=1: zero misses" miss1 (Sf_obs.Counter.value c_miss);
+          Alcotest.(check bool) "warm jobs=1: hits recorded" true
+            (Sf_obs.Counter.value c_hit > hit1);
+          let miss2 = Sf_obs.Counter.value c_miss in
+          let warm4 = grid_csv ~jobs:4 () in
+          Alcotest.(check string) "warm jobs=4 byte-identical" baseline warm4;
+          Alcotest.(check int) "warm jobs=4: zero misses" miss2 (Sf_obs.Counter.value c_miss)))
+
+let test_measure_parallel_cold_matches () =
+  (* a cold cache filled from four domains at once must still produce
+     the sequential answer *)
+  let baseline = grid_csv ~jobs:1 () in
+  with_cache (fun _dir cache ->
+      with_corpus cache (fun () ->
+          let cold4 = grid_csv ~jobs:4 () in
+          Alcotest.(check string) "cold jobs=4 = uncached baseline" baseline cold4;
+          let warm1 = grid_csv ~jobs:1 () in
+          Alcotest.(check string) "then warm jobs=1 agrees" baseline warm1))
+
+let suite =
+  [
+    ("varint round trip", `Quick, test_varint_roundtrip);
+    ("varint truncation", `Quick, test_varint_truncation);
+    ("crc32 test vector", `Quick, test_crc32_known_value);
+    ("codec: small graphs", `Quick, test_codec_small_graphs);
+    ("codec: insertion order", `Quick, test_codec_preserves_insertion_order);
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_ugraph_roundtrip;
+    ("decode: basic rejections", `Quick, test_decode_rejects_basics);
+    ("decode: truncations", `Quick, test_decode_rejects_truncations);
+    ("decode: bit flips", `Quick, test_decode_rejects_bit_flips);
+    ("read_any_file dispatch", `Quick, test_read_any_file_dispatch);
+    ("fingerprint: distinct coordinates", `Quick, test_fingerprint_distinct_coordinates);
+    ("fingerprint: rng token round trip", `Quick, test_rng_token_roundtrip);
+    ("cache: miss then hit", `Quick, test_cache_miss_then_hit);
+    ("cache: persists across reopen", `Quick, test_cache_persists_across_reopen);
+    ("cache: LRU eviction", `Quick, test_cache_lru_eviction);
+    ("cache: corrupt fallback", `Quick, test_cache_corrupt_fallback);
+    ("cache: verify reports corruption", `Quick, test_cache_verify_reports_corruption);
+    ("cache: tolerates index garbage", `Quick, test_cache_tolerates_index_garbage);
+    ("corpus: identity when unset", `Quick, test_corpus_identity_when_unset);
+    ("corpus: hit skips generation", `Quick, test_corpus_hit_skips_generation_and_restores_stream);
+    ("corpus: golden cold/warm at jobs 1 and 4", `Slow, test_measure_golden_cold_warm_jobs);
+    ("corpus: parallel cold fill", `Slow, test_measure_parallel_cold_matches);
+  ]
