@@ -14,6 +14,7 @@
      main.exe --no-micro      skip the microbenchmarks
      main.exe --no-exp        skip the experiment tables
      main.exe --metrics F     write the obs.json run manifest to F
+                              (- writes it to stdout)
      main.exe --no-obs        disable all instrumentation
      main.exe --trace F       write the event trace to F (.jsonl
                               streams; else Perfetto JSON)
@@ -60,7 +61,9 @@ let parse_args () =
       ("--seed", Arg.Set_int seed, "master seed (default 20070615)");
       ("--no-micro", Arg.Clear micro, "skip microbenchmarks");
       ("--no-exp", Arg.Clear experiments, "skip experiment tables");
-      ("--metrics", Arg.Set_string metrics, "write the obs.json run manifest to FILE");
+      ( "--metrics",
+        Arg.Set_string metrics,
+        "write the obs.json run manifest to FILE (- for stdout)" );
       ("--no-obs", Arg.Clear obs, "disable all instrumentation (no counters, no manifest)");
       ( "--trace",
         Arg.Set_string trace,
@@ -159,150 +162,14 @@ let run_experiments ~quick ~seed ~progress ids =
 
 open Bechamel
 
-let microbench_tests ~quick =
-  let scale n = if quick then n / 8 else n in
-  let rng0 = Sf_prng.Rng.of_seed 1 in
-  (* Pre-built inputs shared by the per-run closures. *)
-  let mori_16k = Sf_gen.Mori.tree (Sf_prng.Rng.split rng0) ~p:0.5 ~t:(scale 16_384) in
-  let mori_u = Sf_graph.Ugraph.of_digraph mori_16k in
-  let config_g =
-    Sf_gen.Config_model.searchable_power_law (Sf_prng.Rng.split rng0) ~n:(scale 16_384)
-      ~exponent:2.3 ()
-  in
-  let config_u = Sf_graph.Ugraph.of_digraph config_g in
-  let kleinberg = Sf_gen.Kleinberg.generate (Sf_prng.Rng.split rng0) ~side:32 ~r:2. ~q:1 () in
-  let kleinberg_u = Sf_graph.Ugraph.of_digraph kleinberg.Sf_gen.Kleinberg.graph in
-  let degrees = Sf_graph.Metrics.in_degrees mori_16k in
-  let n_mori = Sf_graph.Ugraph.n_vertices mori_u in
-  let n_conf = Sf_graph.Ugraph.n_vertices config_u in
-  let mk name f = Test.make ~name (Staged.stage f) in
-  [
-    (* T1/T2: generation of the Theorem 1 workloads *)
-    mk
-      (Printf.sprintf "gen: mori tree t=%d (T1)" (scale 8192))
-      (fun () -> ignore (Sf_gen.Mori.tree (Sf_prng.Rng.copy rng0) ~p:0.5 ~t:(scale 8192)));
-    mk
-      (Printf.sprintf "gen: merged mori m=4 n=%d (T2)" (scale 2048))
-      (fun () ->
-        ignore (Sf_gen.Mori.graph (Sf_prng.Rng.copy rng0) ~p:0.5 ~m:4 ~n:(scale 2048)));
-    (* T4: Cooper-Frieze generation *)
-    mk
-      (Printf.sprintf "gen: cooper-frieze n=%d (T4)" (scale 4096))
-      (fun () ->
-        ignore
-          (Sf_gen.Cooper_frieze.generate_n_vertices (Sf_prng.Rng.copy rng0)
-             Sf_gen.Cooper_frieze.default ~n:(scale 4096)));
-    (* T11: configuration-model generation *)
-    mk
-      (Printf.sprintf "gen: config model n=%d (T11)" (scale 8192))
-      (fun () ->
-        ignore
-          (Sf_gen.Config_model.power_law (Sf_prng.Rng.copy rng0) ~n:(scale 8192) ~exponent:2.3
-             ()));
-    (* T12: Kleinberg generation and routing *)
-    mk "gen: kleinberg side=32 (T12)" (fun () ->
-        ignore (Sf_gen.Kleinberg.generate (Sf_prng.Rng.copy rng0) ~side:32 ~r:2. ~q:1 ()));
-    mk "search: greedy route side=32 (T12)" (fun () ->
-        ignore
-          (Sf_search.Geo_routing.greedy kleinberg_u
-             ~dist:(Sf_gen.Kleinberg.lattice_distance ~side:32)
-             ~source:1 ~target:600 ~max_steps:10_000));
-    (* T1: a full weak-model search *)
-    mk "search: bfs to neighbor on mori (T1)" (fun () ->
-        ignore
-          (Sf_search.Runner.search ~stop_at:Sf_search.Runner.At_neighbor
-             ~rng:(Sf_prng.Rng.copy rng0) mori_u Sf_search.Strategies.bfs ~source:1
-             ~target:(n_mori - 3)));
-    (* T3: a strong-model search *)
-    mk "search: strong high-degree on mori (T3)" (fun () ->
-        ignore
-          (Sf_search.Runner.search ~rng:(Sf_prng.Rng.copy rng0) mori_u
-             Sf_search.Strategies.strong_high_degree ~source:1 ~target:(n_mori - 3)));
-    (* T11: Adamic greedy on the configuration graph *)
-    mk "search: strong high-degree on config (T11)" (fun () ->
-        ignore
-          (Sf_search.Runner.search ~rng:(Sf_prng.Rng.copy rng0) config_u
-             Sf_search.Strategies.strong_high_degree ~source:1 ~target:(n_conf / 2)));
-    (* T13: percolation query *)
-    mk "search: percolation run on config (T13)" (fun () ->
-        ignore
-          (Sf_search.Percolation.run (Sf_prng.Rng.copy rng0) config_u
-             (Sf_search.Percolation.default_params ~n:n_conf)
-             ~source:1 ~target:(n_conf / 2)));
-    (* T5: exact event probability at a = 10^6 *)
-    mk "math: P(E_{a,b}) exact a=10^6 (T5)" (fun () ->
-        ignore (Sf_core.Events.prob_exact ~p:0.5 ~a:1_000_000 ~b:1_001_000));
-    (* T6: exhaustive equivalence at t=8 *)
-    mk "math: exact equivalence t=8 (T6)" (fun () ->
-        ignore (Sf_core.Equivalence.exact ~p:0.5 ~t:8 ~a:4 ~b:7));
-    (* T6: conditioned sampling *)
-    mk
-      (Printf.sprintf "gen: conditioned mori t=%d (T6)" (scale 4096))
-      (fun () ->
-        let t = scale 4096 in
-        ignore
-          (Sf_gen.Mori.tree_conditioned (Sf_prng.Rng.copy rng0) ~p:0.5 ~t ~a:(t - 64) ~b:t));
-    (* T8: max-degree replay *)
-    mk "math: max-degree series (T8)" (fun () ->
-        ignore
-          (Sf_core.Max_degree.max_indegree_series (Sf_prng.Rng.copy rng0) ~p:0.8
-             ~checkpoints:[ scale 16_384 ]));
-    (* T9: power-law MLE *)
-    mk "math: power-law MLE fit (T9)" (fun () ->
-        ignore (Sf_stats.Power_law.fit degrees ~x_min:1));
-    (* T10: BFS over the whole graph *)
-    mk "graph: full BFS on mori (T10)" (fun () ->
-        ignore (Sf_graph.Traversal.bfs_distances mori_u ~source:1));
-    (* T14: permutation action *)
-    mk "graph: permutation action on mori (T14)" (fun () ->
-        ignore (Sf_graph.Permute.apply (Sf_graph.Permute.identity n_mori) mori_16k));
-    (* T15: correlation statistics *)
-    mk "graph: assortativity on config (T15)" (fun () ->
-        ignore (Sf_graph.Correlation.assortativity config_u));
-    mk "graph: k-core decomposition on config (T15)" (fun () ->
-        ignore (Sf_graph.Kcore.coreness config_u));
-    (* T6: exact rational certificate *)
-    mk "math: rational certificate t=8 (T6)" (fun () ->
-        ignore (Sf_core.Equivalence.exact_rational ~p_num:1 ~p_den:2 ~t:8 ~a:4 ~b:7));
-    (* T19: one simulated flood *)
-    (let net = Sf_sim.Network.create config_u in
-     mk "sim: flood query on config (T19)" (fun () ->
-         ignore
-           (Sf_sim.Query_sim.query ~rng:(Sf_prng.Rng.copy rng0) net
-              (Sf_sim.Query_sim.Flood { ttl = 6 })
-              ~source:1
-              ~holders:(Sf_sim.Query_sim.single_target net (n_conf / 2)))));
-    (* T22: one churned query *)
-    (let net = Sf_sim.Network.create config_u in
-     mk "sim: churned flood on config (T22)" (fun () ->
-         ignore
-           (Sf_sim.Churn_sim.query ~rng:(Sf_prng.Rng.copy rng0) net
-              { Sf_sim.Churn_sim.mean_up = 40.; mean_down = 10. }
-              (Sf_sim.Query_sim.Flood { ttl = 6 })
-              ~source:1
-              ~holders:(Sf_sim.Query_sim.single_target net (n_conf / 2)))));
-    (* event queue throughput *)
-    mk "sim: event queue 10k schedule+drain" (fun () ->
-        let q = Sf_sim.Event_queue.create () in
-        let r = Sf_prng.Rng.copy rng0 in
-        for i = 0 to 9_999 do
-          Sf_sim.Event_queue.schedule q ~time:(Sf_prng.Rng.unit_float r) i
-        done;
-        while not (Sf_sim.Event_queue.is_empty q) do
-          ignore (Sf_sim.Event_queue.next q)
-        done);
-  ]
-
 let run_microbenchmarks ~quick =
   Printf.printf "\n######## Microbenchmarks (bechamel, monotonic clock)\n\n%!";
-  let tests = microbench_tests ~quick in
+  (* the definitions live in Sf_perf.Suite so that `sfbench record`
+     times exactly the same closures with the same configuration *)
+  let tests = Sf_perf.Suite.tests ~quick in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:200
-      ~quota:(Time.second (if quick then 0.25 else 1.0))
-      ~kde:None ~stabilize:true ()
-  in
+  let cfg = Sf_perf.Suite.micro_cfg ~quick in
   let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"sf" tests) in
   let results = Analyze.all ols instance raw in
   let rows = ref [] in
@@ -369,7 +236,11 @@ let write_manifest opts ~wall0 ~cpu0 path =
       ~path ()
   with
   | `Written ->
-    Printf.printf "wrote run manifest to %s (%d metrics, %d top-level spans)\n" path
+    (* the confirmation goes to stderr when the manifest itself went to
+       stdout (--metrics -) *)
+    let print = if path = "-" then Printf.eprintf else Printf.printf in
+    print "wrote run manifest to %s (%d metrics, %d top-level spans)\n"
+      (if path = "-" then "stdout" else path)
       (List.length (Sf_obs.Registry.names ()))
       (List.length (Sf_obs.Span.roots ()))
   | `Skipped_disabled -> () (* the warning is already on stderr *)
@@ -430,6 +301,9 @@ let attach_trace_sinks opts =
 
 let () =
   let opts = parse_args () in
+  (* all phase timings (Timer, Span, manifest wall_s) read bechamel's
+     CLOCK_MONOTONIC stub instead of Unix.gettimeofday from here on *)
+  Sf_obs.Timer.set_clock (fun () -> Int64.to_float (Monotonic_clock.now ()) /. 1e9);
   let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
   if opts.jobs <> 0 then Sf_parallel.Pool.set_default_jobs opts.jobs;
   (* before any domains spawn: the corpus handle is a process global *)

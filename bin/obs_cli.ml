@@ -30,7 +30,10 @@ let term =
     Arg.(
       value
       & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE" ~doc:"Write an obs.json run manifest to $(docv)")
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write an obs.json run manifest to $(docv); $(b,-) writes it to stdout so a \
+             caller can capture it without a temp file")
   in
   let no_obs =
     Arg.(
@@ -85,6 +88,9 @@ type session = {
 }
 
 let start (t : t) =
+  (* phase timings must not depend on Unix.gettimeofday: inject
+     bechamel's CLOCK_MONOTONIC stub before anything reads the clock *)
+  Sf_obs.Timer.set_clock (fun () -> Int64.to_float (Monotonic_clock.now ()) /. 1e9);
   (match t.jobs with
   | Some j when j < 1 -> invalid_arg "--jobs: need at least 1"
   | Some j -> Sf_parallel.Pool.set_default_jobs j
@@ -155,7 +161,11 @@ let finish (t : t) session ?(extra = fun () -> []) ~tool ~seed ~mode code =
         ~tool ~seed ~mode ~path ()
     with
     | `Written ->
-      Printf.printf "wrote run manifest to %s (%d metrics)\n" path
+      (* stdout manifests (--metrics -) get their confirmation on
+         stderr so the captured document stays clean *)
+      let print = if path = "-" then Printf.eprintf else Printf.printf in
+      print "wrote run manifest to %s (%d metrics)\n"
+        (if path = "-" then "stdout" else path)
         (List.length (Sf_obs.Registry.names ()));
       code
     | `Skipped_disabled -> code (* the warning is already on stderr *)

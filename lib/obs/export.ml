@@ -57,11 +57,6 @@ let metrics_json () =
   Buffer.add_char b '}';
   Buffer.contents b
 
-let csv_field s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
-    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
-  else s
-
 let metrics_csv () =
   let b = Buffer.create 1024 in
   buf_add b "name,kind,value,count,mean\n";
@@ -84,7 +79,8 @@ let metrics_csv () =
             Printf.sprintf "%.9g" (Histo.mean h) )
       in
       buf_add b
-        (Printf.sprintf "%s,%s,%s,%s,%s\n" (csv_field name) kind value count mean))
+        (Printf.sprintf "%s,%s,%s,%s,%s\n" (Sf_stats.Csv.escape_field name) kind value count
+           mean))
     (Registry.all ());
   Buffer.contents b
 
@@ -117,10 +113,17 @@ let manifest_json ?(extra = []) ~tool ~seed ~mode () =
   Buffer.contents b
 
 let write_manifest ?extra ~tool ~seed ~mode ~path () =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (manifest_json ?extra ~tool ~seed ~mode ()))
+  let doc = manifest_json ?extra ~tool ~seed ~mode () in
+  if path = "-" then begin
+    (* [--metrics -]: the manifest goes to stdout so a caller (sfbench,
+       CI scripts) can capture it without a temp file *)
+    print_string doc;
+    flush stdout
+  end
+  else begin
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)
+  end
 
 let write_manifest_checked ?extra ~tool ~seed ~mode ~path () =
   if not (Registry.enabled ()) then begin

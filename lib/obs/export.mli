@@ -25,7 +25,9 @@ val metrics_json : unit -> string
 val metrics_csv : unit -> string
 (** The registry as CSV (header [name,kind,value,count,mean]); the
     [value] column is the counter value, timer total seconds,
-    gauge value, or histogram sum. *)
+    gauge value, or histogram sum. Field quoting is
+    {!Sf_stats.Csv.escape_field} (RFC 4180), so metric names containing
+    commas or quotes round-trip through {!Sf_stats.Csv.parse}. *)
 
 val spans_json : unit -> string
 (** The completed span forest as a JSON array of
@@ -45,7 +47,10 @@ val write_manifest :
   path:string ->
   unit ->
   unit
-(** {!manifest_json} written to [path] (truncating). *)
+(** {!manifest_json} written to [path] (truncating). The path ["-"]
+    writes the manifest to stdout instead — the [--metrics -] mode of
+    the tools, which lets a caller capture the manifest without a temp
+    file. *)
 
 val write_manifest_checked :
   ?extra:(string * string) list ->

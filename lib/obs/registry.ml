@@ -36,7 +36,10 @@ let check_name name =
   String.iter
     (fun c ->
       match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '/' -> ()
+      (* commas and quotes are allowed because both exporters escape
+         them (JSON via json_string, CSV via Sf_stats.Csv.escape_field);
+         whitespace and control characters stay out *)
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '/' | ',' | '"' -> ()
       | _ -> invalid_arg (Printf.sprintf "Registry: bad character %C in metric name %S" c name))
     name
 

@@ -30,8 +30,10 @@ val enabled : unit -> bool
 
     All declare functions
     @raise Invalid_argument on an empty name, a name with characters
-    outside [[A-Za-z0-9._/-]], or a name already registered as a
-    different kind. *)
+    outside [[A-Za-z0-9._/,-]] plus the double-quote character (commas
+    and quotes are admitted because both exporters escape them;
+    whitespace and control characters are not), or a name already
+    registered as a different kind. *)
 
 val counter : string -> Counter.t
 val timer : string -> Timer.t

@@ -7,12 +7,15 @@
 
     {b Clock.} The default clock is [Unix.gettimeofday]. The image
     this library targets has no monotonic-clock binding in the
-    standard library, so a harness that links one (e.g. bechamel's
-    [clock_gettime(CLOCK_MONOTONIC)] stub) should inject it with
+    standard library, so a harness that links one injects it with
     {!set_clock}; everything downstream — spans, manifests — then
-    uses it. Timings are measurements, never test assertions, so a
-    rare NTP step under the default clock distorts one sample, not
-    correctness. *)
+    uses it. The harnesses do exactly that: [bin/obs_cli.ml] (all the
+    [bin/*] tools) and [bench/main.ml] install bechamel's
+    [clock_gettime(CLOCK_MONOTONIC)] stub at session start, so phase
+    timings there never depend on [Unix.gettimeofday]. Timings are
+    measurements, never test assertions, so library code running
+    without a harness (unit tests) still gets correct-enough wall
+    clock from the default. *)
 
 type t
 

@@ -1,0 +1,39 @@
+(** The performance history: every committed [BENCH_*.json] of a
+    directory, loaded and rendered as trends.
+
+    The trajectory is the point of the subsystem — a single BENCH file
+    says what a commit cost, the ordered sequence says where the repo
+    is {e going}. Trend tables compare the first and latest recording
+    of each benchmark and draw an ASCII sparkline over the medians;
+    the scatter plot puts every benchmark's median-vs-index series on
+    one {!Sf_stats.Plot} canvas (log y, one glyph per benchmark), the
+    same way the experiment harness renders the paper's scaling
+    figures. *)
+
+type entry = { index : int; path : string; file : Bench_file.t }
+
+val load : dir:string -> entry list * string list
+(** All parseable history files ascending by index, plus one error
+    message per file that failed to read or validate. A missing
+    directory is an empty history. *)
+
+val names : entry list -> string list
+(** Union of benchmark names across the history, sorted. *)
+
+val series : entry list -> string -> (float * float) list
+(** [(index, median)] of one benchmark across the entries recording
+    it. *)
+
+val sparkline : float list -> string
+(** One ASCII character per value, scaled to the list's own min/max
+    (ramp [_.-~=+*#%@]); a flat or singleton series renders as ['-']
+    characters. Empty input is the empty string. *)
+
+val trend_table : entry list -> string
+(** One row per benchmark: recordings, first and latest median, total
+    change, sparkline. *)
+
+val trend_plot : ?width:int -> ?height:int -> ?only:string list -> entry list -> string
+(** Median-vs-index scatter of every benchmark (or the [only] subset)
+    on one log-y canvas, glyphs cycling through
+    {!Sf_stats.Plot.default_glyphs}. *)

@@ -1,0 +1,31 @@
+(** A minimal JSON reader for the performance-trajectory files.
+
+    [lib/obs] renders its manifests by hand and re-scans them with a
+    tolerant string scanner; BENCH files need more — sample arrays must
+    be read back exactly — so this module is a small total parser over
+    an explicit value type. Same dependency policy as the rest of the
+    observability stack: machine-written documents, no JSON package. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing garbage after the top-level value
+    is an error. Error messages carry the byte offset. *)
+
+(** {1 Accessors} — all return [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]. *)
+
+val as_str : t -> string option
+val as_num : t -> float option
+val as_int : t -> int option
+(** [as_num] truncated; [None] if the number is not integral. *)
+
+val as_arr : t -> t list option

@@ -24,3 +24,13 @@ val total_variation :
 val ks_two_sample : float array -> float array -> float * float
 (** [(statistic, approximate p_value)] of the two-sample
     Kolmogorov–Smirnov test (asymptotic Q_KS significance). *)
+
+val mann_whitney_u : float array -> float array -> float * float
+(** [(u1, p_value)] of the two-sided Mann–Whitney U (Wilcoxon
+    rank-sum) test: [u1] is the U statistic of the {e first} sample and
+    [p_value] the continuity-corrected normal approximation with the
+    usual tie correction (midranks). Robust to outliers and makes no
+    normality assumption, which is why [lib/perf] uses it to compare
+    benchmark timing samples across commits. When every pooled value is
+    identical the variance is zero and the p-value is 1 (no evidence of
+    a shift). @raise Invalid_argument if either sample is empty. *)

@@ -14,4 +14,5 @@ let () =
       ("store", Test_store.suite);
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
+      ("perf", Test_perf.suite);
     ]

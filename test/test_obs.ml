@@ -96,6 +96,30 @@ let test_histo_quantile_and_base () =
   Alcotest.check_raises "quantile range" (Invalid_argument "Histo.quantile: need q in [0, 1]")
     (fun () -> ignore (Histo.quantile h 1.5))
 
+let test_histo_quantile_edges () =
+  let h = Histo.create () in
+  (* empty: every legal q is nan, including the endpoints *)
+  Alcotest.(check bool) "empty q=0 is nan" true (Float.is_nan (Histo.quantile h 0.));
+  Alcotest.(check bool) "empty q=1 is nan" true (Float.is_nan (Histo.quantile h 1.));
+  (* single sample: every quantile is that sample's bucket bound *)
+  Histo.observe h 5.;
+  Alcotest.(check (float 1e-9)) "single q=0" 8. (Histo.quantile h 0.);
+  Alcotest.(check (float 1e-9)) "single q=0.5" 8. (Histo.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "single q=1" 8. (Histo.quantile h 1.);
+  (* two spread samples: the endpoints bracket, q=0 skips empty
+     buckets below the minimum *)
+  let h2 = Histo.create () in
+  Histo.observe h2 1.;
+  Histo.observe h2 100.;
+  Alcotest.(check (float 1e-9)) "q=0 is the min's bucket" 1. (Histo.quantile h2 0.);
+  Alcotest.(check (float 1e-9)) "q=0.5 is the lower bucket" 1. (Histo.quantile h2 0.5);
+  Alcotest.(check (float 1e-9)) "q=1 is the max's bucket" 128. (Histo.quantile h2 1.);
+  (* out-of-range rejections on both sides *)
+  Alcotest.check_raises "q below range" (Invalid_argument "Histo.quantile: need q in [0, 1]")
+    (fun () -> ignore (Histo.quantile h2 (-0.1)));
+  Alcotest.check_raises "q above range" (Invalid_argument "Histo.quantile: need q in [0, 1]")
+    (fun () -> ignore (Histo.quantile h2 1.5))
+
 (* --- spans -------------------------------------------------------------- *)
 
 let test_span_nesting_and_order () =
@@ -206,6 +230,23 @@ let test_csv_export_covers_registry () =
     (List.length lines);
   Alcotest.(check string) "header" "name,kind,value,count,mean" (List.hd lines)
 
+let test_csv_export_escapes_tricky_names () =
+  (* the registry admits commas and quotes precisely because the CSV
+     exporter escapes per RFC 4180 (Sf_stats.Csv.escape_field); a
+     tricky name must survive a full parse round-trip *)
+  let tricky = {|test.obs.csv,tricky"name|} in
+  let c = Registry.counter tricky in
+  Counter.incr c;
+  let rows = Sf_stats.Csv.parse (Export.metrics_csv ()) in
+  match List.filter (fun row -> List.nth_opt row 0 = Some tricky) rows with
+  | [ row ] ->
+    Alcotest.(check string) "kind survives" "counter" (List.nth row 1);
+    Alcotest.(check bool) "value parses" true
+      (match float_of_string_opt (List.nth row 2) with
+      | Some v -> v >= 1.
+      | None -> false)
+  | rows -> Alcotest.failf "expected exactly one row named %S, got %d" tricky (List.length rows)
+
 let test_disabled_counters_freeze_sites () =
   (* instrumented library sites guard on Registry.enabled: a search run
      with observability off must leave the search counters untouched *)
@@ -230,6 +271,7 @@ let suite =
     ("timer accumulates", `Quick, test_timer_accumulates);
     ("histogram bucket boundaries", `Quick, test_histo_bucket_boundaries);
     ("histogram quantiles and bases", `Quick, test_histo_quantile_and_base);
+    ("histogram quantile edge cases", `Quick, test_histo_quantile_edges);
     ("span nesting and ordering", `Quick, test_span_nesting_and_order);
     ("span exception safety", `Quick, test_span_exception_safety);
     ("span disabled transparency", `Quick, test_span_disabled_is_transparent);
@@ -240,5 +282,6 @@ let suite =
     ("manifest round-trip", `Quick, test_manifest_roundtrip);
     ("manifest without metrics", `Quick, test_manifest_without_metrics_section);
     ("csv export", `Quick, test_csv_export_covers_registry);
+    ("csv export escapes tricky names", `Quick, test_csv_export_escapes_tricky_names);
     ("disabled mode freezes counters", `Quick, test_disabled_counters_freeze_sites);
   ]

@@ -233,6 +233,41 @@ let test_ks_two_sample () =
   let d, p_diff = Tests.ks_two_sample xs zs in
   Alcotest.(check bool) "shifted dist detected" true (p_diff < 1e-6 && d > 0.2)
 
+let test_mann_whitney_separated () =
+  (* complete separation: every y above every x, so U1 = 0 *)
+  let u1, p = Tests.mann_whitney_u [| 1.; 2.; 3. |] [| 4.; 5.; 6. |] in
+  checkf "U1 under full separation" 0. u1;
+  Alcotest.(check bool) "small samples not significant" true (p > 0.05);
+  let rng = Rng.of_seed 7 in
+  let xs = Array.init 200 (fun _ -> Sf_prng.Dist.normal rng ~mu:0. ~sigma:1.) in
+  let ys = Array.init 200 (fun _ -> Sf_prng.Dist.normal rng ~mu:1. ~sigma:1.) in
+  let _, p_shift = Tests.mann_whitney_u xs ys in
+  Alcotest.(check bool)
+    (Printf.sprintf "large shifted samples p=%.4g" p_shift)
+    true (p_shift < 0.01)
+
+let test_mann_whitney_identical () =
+  (* all pooled values equal: the tie correction zeroes the variance
+     and the test must report no evidence, not NaN *)
+  let u1, p = Tests.mann_whitney_u [| 5.; 5.; 5. |] [| 5.; 5.; 5. |] in
+  checkf "U1 is n*m/2 under total ties" 4.5 u1;
+  checkf "p = 1 under total ties" 1. p;
+  let rng = Rng.of_seed 8 in
+  let xs = Array.init 500 (fun _ -> Sf_prng.Dist.normal rng ~mu:0. ~sigma:1.) in
+  let ys = Array.init 500 (fun _ -> Sf_prng.Dist.normal rng ~mu:0. ~sigma:1.) in
+  let _, p_same = Tests.mann_whitney_u xs ys in
+  Alcotest.(check bool)
+    (Printf.sprintf "same dist p=%.3f" p_same)
+    true (p_same > 0.01)
+
+let test_mann_whitney_empty () =
+  Alcotest.check_raises "empty first sample"
+    (Invalid_argument "Tests.mann_whitney_u: empty sample") (fun () ->
+      ignore (Tests.mann_whitney_u [||] [| 1. |]));
+  Alcotest.check_raises "empty second sample"
+    (Invalid_argument "Tests.mann_whitney_u: empty sample") (fun () ->
+      ignore (Tests.mann_whitney_u [| 1. |] [||]))
+
 (* --- Table --------------------------------------------------------------- *)
 
 let test_table_render () =
@@ -377,6 +412,9 @@ let suite =
     ("chi-square different", `Quick, test_chi_square_different_distribution);
     ("total variation", `Quick, test_total_variation);
     ("ks two-sample", `Quick, test_ks_two_sample);
+    ("mann-whitney separated", `Quick, test_mann_whitney_separated);
+    ("mann-whitney identical", `Quick, test_mann_whitney_identical);
+    ("mann-whitney empty", `Quick, test_mann_whitney_empty);
     ("csv roundtrip", `Quick, test_csv_roundtrip);
     ("csv padding and escaping", `Quick, test_csv_pads_short_rows);
     ("csv parse errors", `Quick, test_csv_parse_errors);
