@@ -30,16 +30,23 @@ let run model n p m alpha exponent strategy_name source target trials budget see
   let graph, default_target =
     match graph_file with
     | Some path ->
-      let g = Sf_store.Codec.read_any_file ~path in
-      (Sf_graph.Ugraph.of_digraph g, Sf_graph.Digraph.n_vertices g)
+      (* version-sniffing load: SFGB v2 files are mmap-backed CSR (no
+         decode pass, doc/SCALING.md), v1 and edge lists decode *)
+      let u = Sf_store.Csr_codec.load_ugraph ~path () in
+      (u, Sf_graph.Ugraph.n_vertices u)
     | None -> (
       match model with
       | "mori" -> Sf_core.Searchability.mori_instance ~p ~m rng n
       | "cooper-frieze" ->
         let params = { Sf_gen.Cooper_frieze.default with Sf_gen.Cooper_frieze.alpha } in
         Sf_core.Searchability.cooper_frieze_instance params rng n
+      | "cooper-frieze-giant" ->
+        let params = { Sf_gen.Cooper_frieze.default with Sf_gen.Cooper_frieze.alpha } in
+        Sf_core.Searchability.cooper_frieze_giant_instance params rng n
       | "config" -> Sf_core.Searchability.config_model_instance ~exponent rng n
-      | other -> failwith ("unknown model: " ^ other ^ " (mori | cooper-frieze | config)"))
+      | other ->
+        failwith
+          ("unknown model: " ^ other ^ " (mori | cooper-frieze | cooper-frieze-giant | config)"))
   in
   match strategy_of_name strategy_name with
   | None ->
@@ -143,7 +150,10 @@ let run model n p m alpha exponent strategy_name source target trials budget see
       ];
     0
 
-let model_arg = Arg.(value & opt string "mori" & info [ "model" ] ~doc:"mori | cooper-frieze | config")
+let model_arg =
+  Arg.(
+    value & opt string "mori"
+    & info [ "model" ] ~doc:"mori | cooper-frieze | cooper-frieze-giant | config")
 let n_arg = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Target vertex / problem size")
 let p_arg = Arg.(value & opt float 0.5 & info [ "p" ] ~doc:"Mori parameter")
 let m_arg = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Mori merge factor")

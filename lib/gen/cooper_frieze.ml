@@ -192,6 +192,148 @@ let generate_n_vertices rng params ~n =
       done;
       st.g)
 
+(* --- giant engine (doc/SCALING.md) --------------------------------
+
+   Flat-storage variant of the same evolution.  Two changes relative
+   to [step]:
+
+   - out-degree counts come from precompiled alias tables (O(1) per
+     draw) instead of [sample_dist]'s linear scan over the support;
+   - edges accumulate in unboxed int32 endpoint vectors and the final
+     graph is built directly in CSR form, never materialising a boxed
+     [Digraph].
+
+   The endpoint store [ends] is the same edge-endpoint sampling
+   structure as the legacy path, so preferential draws stay O(1).
+   Because an alias draw consumes the stream differently from
+   [sample_dist] (one [Rng.int] plus one [unit_float] versus a single
+   [unit_float]), the giant path is equal to the legacy path {e in
+   law}, not draw for draw; the chi-square battery in the tests pins
+   the law. *)
+
+module Bigvec = Sf_graph.Bigvec
+
+type compiled_dist = { values : int array; alias : Sf_prng.Discrete.Alias.t }
+
+let compile_dist dist =
+  {
+    values = Array.of_list (List.map fst dist);
+    alias = Sf_prng.Discrete.Alias.create (Array.of_list (List.map snd dist));
+  }
+
+let sample_compiled rng cd = cd.values.(Sf_prng.Discrete.Alias.sample cd.alias rng)
+
+type giant_state = {
+  srcs : Bigvec.t;
+  dsts : Bigvec.t;
+  g_ends : Bigvec.t;
+  mutable n : int;
+  g_pref : preference;
+}
+
+let initial_giant preference =
+  let st =
+    {
+      srcs = Bigvec.create ();
+      dsts = Bigvec.create ();
+      g_ends = Bigvec.create ();
+      n = 1;
+      g_pref = preference;
+    }
+  in
+  Bigvec.push st.srcs 1;
+  Bigvec.push st.dsts 1;
+  Bigvec.push st.g_ends 1;
+  if preference = Total_degree then Bigvec.push st.g_ends 1;
+  st
+
+let preferential_giant st rng =
+  Bigvec.unsafe_get st.g_ends (Rng.int rng (Bigvec.length st.g_ends))
+
+let uniform_giant st rng = 1 + Rng.int rng st.n
+
+let record_edge_giant st ~src ~dst =
+  if Sf_obs.Registry.enabled () then Sf_obs.Counter.incr obs_edges;
+  Bigvec.push st.srcs src;
+  Bigvec.push st.dsts dst;
+  Bigvec.push st.g_ends dst;
+  if st.g_pref = Total_degree then Bigvec.push st.g_ends src
+
+let step_giant st rng params ~q_cd ~p_cd =
+  let obs = Sf_obs.Registry.enabled () in
+  if Rng.bernoulli rng params.alpha then begin
+    (* NEW: endpoints are drawn before the vertex exists, exactly as in
+       [step] — the newcomer is not a candidate for its own edges *)
+    let count = sample_compiled rng q_cd in
+    if obs then begin
+      Sf_obs.Counter.incr obs_new_steps;
+      Sf_obs.Histo.observe_int obs_step_out_degree count
+    end;
+    let targets = Array.make count 0 in
+    for i = 0 to count - 1 do
+      targets.(i) <-
+        (if Rng.bernoulli rng params.beta then preferential_giant st rng
+         else uniform_giant st rng)
+    done;
+    st.n <- st.n + 1;
+    for i = 0 to count - 1 do
+      record_edge_giant st ~src:st.n ~dst:targets.(i)
+    done
+  end
+  else begin
+    let src =
+      if Rng.bernoulli rng params.delta then uniform_giant st rng
+      else preferential_giant st rng
+    in
+    let count = sample_compiled rng p_cd in
+    if obs then begin
+      Sf_obs.Counter.incr obs_old_steps;
+      Sf_obs.Histo.observe_int obs_step_out_degree count
+    end;
+    for _ = 1 to count do
+      let dst =
+        if Rng.bernoulli rng params.gamma then preferential_giant st rng
+        else uniform_giant st rng
+      in
+      record_edge_giant st ~src ~dst
+    done
+  end
+
+let generate_n_vertices_giant rng params ~n =
+  check params;
+  if n < 1 then invalid_arg "Cooper_frieze.generate_n_vertices_giant: need n >= 1";
+  if params.alpha <= 0. then
+    invalid_arg "Cooper_frieze.generate_n_vertices_giant: alpha must be positive";
+  let q_cd = compile_dist params.q and p_cd = compile_dist params.p_dist in
+  let tracing = Sf_obs.Trace.active () in
+  if tracing then
+    Sf_obs.Trace.emit "gen.cf.grow" Sf_obs.Trace.Begin
+      ~args:[ ("target", Sf_obs.Trace.Int n) ];
+  let st = initial_giant params.preference in
+  timed_build (fun () ->
+      let every = max 1 (n / 8) in
+      let next = ref every in
+      while st.n < n do
+        step_giant st rng params ~q_cd ~p_cd;
+        if tracing && st.n >= !next then begin
+          Sf_obs.Trace.instant "gen.cf.checkpoint"
+            ~args:
+              [
+                ("vertices", Sf_obs.Trace.Int st.n);
+                ("edges", Sf_obs.Trace.Int (Bigvec.length st.srcs));
+              ];
+          next := !next + every
+        end
+      done);
+  if tracing then
+    Sf_obs.Trace.emit "gen.cf.grow" Sf_obs.Trace.End
+      ~args:
+        [
+          ("vertices", Sf_obs.Trace.Int st.n);
+          ("edges", Sf_obs.Trace.Int (Bigvec.length st.srcs));
+        ];
+  Sf_graph.Ugraph.of_csr (Sf_graph.Csr.of_bigvecs ~n:st.n st.srcs st.dsts)
+
 let generate_n_vertices_traced rng params ~n =
   check params;
   if n < 1 then invalid_arg "Cooper_frieze.generate_n_vertices_traced: need n >= 1";

@@ -55,6 +55,16 @@ val generate_n_vertices : Sf_prng.Rng.t -> params -> n:int -> Sf_graph.Digraph.t
     the search target of Theorem 2. @raise Invalid_argument if
     [validate] fails or [n < 1]. *)
 
+val generate_n_vertices_giant : Sf_prng.Rng.t -> params -> n:int -> Sf_graph.Ugraph.t
+(** Flat-storage counterpart of {!generate_n_vertices}: out-degree
+    counts come from precompiled alias tables (O(1) per draw instead
+    of a scan over the support) and edges accumulate in unboxed int32
+    vectors feeding a direct CSR build, so graphs with 10^7 vertices
+    fit comfortably in memory (doc/SCALING.md).  Same evolution, same
+    parameter checks; equal to {!generate_n_vertices} {e in law} but
+    not draw for draw — the alias draw consumes the random stream
+    differently, so the two paths diverge samplewise. *)
+
 val generate_n_vertices_traced :
   Sf_prng.Rng.t -> params -> n:int -> Sf_graph.Digraph.t * int array
 (** Like {!generate_n_vertices}, but also returns each vertex's

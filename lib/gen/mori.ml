@@ -82,6 +82,85 @@ let tree rng ~p ~t =
   check_params ~p ~t;
   grow rng ~p ~t ~restrict:(fun _ -> None)
 
+(* --- giant engine (doc/SCALING.md) --------------------------------
+
+   Same growth law, same draw sequence, flat storage.  The boxed
+   [Digraph] + per-vertex [Vec]s cost ~100 bytes per vertex and die at
+   a few hundred thousand vertices; here the only growth state is the
+   edge-endpoint store [dsts] — an unboxed int32 vector in which
+   vertex u appears exactly indegree(u) times, so one uniform index
+   draw is one indegree-preferential vertex draw, O(1) amortised per
+   edge.  The result goes straight into CSR form without ever
+   materialising a boxed graph.
+
+   Draw-for-draw parity with [grow] is deliberate and tested: with
+   the same stream, [tree_fathers] reproduces [tree]'s father
+   sequence exactly, so the giant engine is not merely equal in law —
+   it is the same random variable. *)
+
+let grow_fathers rng ~p ~t =
+  let obs = Sf_obs.Registry.enabled () in
+  if obs then Sf_obs.Timer.start obs_build_timer;
+  let tracing = Sf_obs.Trace.active () in
+  let checkpoint_every = max 1 (t / 8) in
+  if tracing then
+    Sf_obs.Trace.emit "gen.mori.grow" Sf_obs.Trace.Begin
+      ~args:[ ("t", Sf_obs.Trace.Int t); ("p", Sf_obs.Trace.Float p) ];
+  let dsts = Sf_graph.Bigvec.create ~capacity:(max 16 (t - 1)) () in
+  Sf_graph.Bigvec.push dsts 1;
+  for k = 3 to t do
+    let edges_so_far = k - 2 in
+    let father =
+      let pref_mass = p *. float_of_int edges_so_far in
+      let unif_mass = (1. -. p) *. float_of_int (k - 1) in
+      if Rng.unit_float rng *. (pref_mass +. unif_mass) < pref_mass then begin
+        if obs then Sf_obs.Counter.incr obs_pref_steps;
+        Sf_graph.Bigvec.unsafe_get dsts (Rng.int rng (Sf_graph.Bigvec.length dsts))
+      end
+      else begin
+        if obs then Sf_obs.Counter.incr obs_unif_steps;
+        1 + Rng.int rng (k - 1)
+      end
+    in
+    if obs then Sf_obs.Histo.observe_int obs_father_age father;
+    if tracing && k mod checkpoint_every = 0 then
+      Sf_obs.Trace.instant "gen.mori.checkpoint"
+        ~args:
+          [ ("vertices", Sf_obs.Trace.Int k); ("last_father", Sf_obs.Trace.Int father) ];
+    Sf_graph.Bigvec.push dsts father
+  done;
+  if tracing then Sf_obs.Trace.emit "gen.mori.grow" Sf_obs.Trace.End;
+  if obs then begin
+    Sf_obs.Counter.add obs_vertices t;
+    Sf_obs.Timer.stop obs_build_timer
+  end;
+  dsts
+
+let tree_fathers rng ~p ~t =
+  check_params ~p ~t;
+  grow_fathers rng ~p ~t
+
+let graph_giant rng ~p ~m ~n =
+  if m < 1 || n < 1 then invalid_arg "Mori.graph_giant: need m >= 1 and n >= 1";
+  if n * m < 2 then invalid_arg "Mori.graph_giant: need n * m >= 2";
+  let t = n * m in
+  let fathers = tree_fathers rng ~p ~t in
+  (* edge j of the tree joins vertex j+2 to fathers.(j); merging maps
+     vertex v to group ((v-1)/m)+1, preserving edge ids and order *)
+  let srcs_buf = Sf_graph.Bigvec.create_buf (t - 1) in
+  let dsts_buf = Sf_graph.Bigvec.create_buf (t - 1) in
+  let group v = ((v - 1) / m) + 1 in
+  for j = 0 to t - 2 do
+    Bigarray.Array1.unsafe_set srcs_buf j (Int32.of_int (group (j + 2)));
+    Bigarray.Array1.unsafe_set dsts_buf j
+      (Int32.of_int (group (Sf_graph.Bigvec.unsafe_get fathers j)))
+  done;
+  Sf_graph.Ugraph.of_csr (Sf_graph.Csr.of_endpoint_bufs ~n srcs_buf dsts_buf)
+
+let tree_giant rng ~p ~t =
+  check_params ~p ~t;
+  graph_giant rng ~p ~m:1 ~n:t
+
 let tree_conditioned rng ~p ~t ~a ~b =
   check_params ~p ~t;
   if a < 2 || a > b || b > t then invalid_arg "Mori.tree_conditioned: need 2 <= a <= b <= t";

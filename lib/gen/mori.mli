@@ -38,6 +38,30 @@ val tree_conditioned :
     sampleable (no rejection). Used by the equivalence tests.
     @raise Invalid_argument unless [2 <= a <= b <= t]. *)
 
+val tree_fathers : Sf_prng.Rng.t -> p:float -> t:int -> Sf_graph.Bigvec.t
+(** [tree_fathers rng ~p ~t] grows the same tree as {!tree} but keeps
+    only the father sequence in flat int32 storage: entry [k-2] is the
+    father of vertex [k].  Draw-for-draw identical to {!tree} — with
+    the same stream the two produce the same sequence (the equivalence
+    tests pin this), so results are interchangeable, not merely equal
+    in law.  Peak memory is ~4 bytes per vertex instead of the boxed
+    graph's ~100, which is what makes [t = 10^7] routine
+    (doc/SCALING.md).
+    @raise Invalid_argument unless [t >= 2] and [0 < p <= 1]. *)
+
+val tree_giant : Sf_prng.Rng.t -> p:float -> t:int -> Sf_graph.Ugraph.t
+(** [tree_giant rng ~p ~t] is {!tree_fathers} materialised as a
+    CSR-backed undirected graph, equal to
+    [Ugraph.of_digraph (tree rng ~p ~t)] on the same stream. *)
+
+val graph_giant : Sf_prng.Rng.t -> p:float -> m:int -> n:int -> Sf_graph.Ugraph.t
+(** [graph_giant rng ~p ~m ~n] is the m-out Móri graph of {!graph}
+    built directly in CSR form: the father sequence is mapped through
+    the block-merge projection edge by edge, skipping the boxed
+    intermediate tree entirely.  Equal (same edge ids, same endpoints)
+    to [Ugraph.of_digraph (graph rng ~p ~m ~n)] on the same stream.
+    Requires [n·m >= 2]. *)
+
 val father : Sf_graph.Digraph.t -> int -> int
 (** [father tree k] is [N_k], the destination of [k]'s out-edge
     (defined for [k >= 2] in a Móri tree).

@@ -52,3 +52,69 @@ let parallel_edges g =
 
 let degree_sum_invariant g =
   Array.fold_left ( + ) 0 (total_degrees g) = 2 * Digraph.n_edges g
+
+(* --- Ugraph-native variants ----------------------------------------
+
+   The same statistics computed from the flat CSR endpoint sections,
+   so a 10M-vertex mmap-loaded graph never has to round-trip through
+   a boxed Digraph (doc/SCALING.md).  Conventions match the Digraph
+   versions exactly: the directed orientation of every edge is
+   retained in the view, and a self-loop contributes 2 to its
+   endpoint's total degree. *)
+
+let u_in_degrees u =
+  let a = Array.make (Ugraph.n_vertices u) 0 in
+  for id = 0 to Ugraph.n_edges u - 1 do
+    let _, d = Ugraph.endpoints u id in
+    a.(d - 1) <- a.(d - 1) + 1
+  done;
+  a
+
+let u_out_degrees u =
+  let a = Array.make (Ugraph.n_vertices u) 0 in
+  for id = 0 to Ugraph.n_edges u - 1 do
+    let s, _ = Ugraph.endpoints u id in
+    a.(s - 1) <- a.(s - 1) + 1
+  done;
+  a
+
+let u_total_degrees u =
+  let a = Array.make (Ugraph.n_vertices u) 0 in
+  for id = 0 to Ugraph.n_edges u - 1 do
+    let s, d = Ugraph.endpoints u id in
+    a.(s - 1) <- a.(s - 1) + 1;
+    a.(d - 1) <- a.(d - 1) + 1
+  done;
+  a
+
+let u_mean_degree u =
+  let n = Ugraph.n_vertices u in
+  if n = 0 then 0. else 2. *. float_of_int (Ugraph.n_edges u) /. float_of_int n
+
+let u_self_loops u =
+  let c = ref 0 in
+  for id = 0 to Ugraph.n_edges u - 1 do
+    let s, d = Ugraph.endpoints u id in
+    if s = d then incr c
+  done;
+  !c
+
+let u_parallel_edges u =
+  (* sort packed (min, max) endpoint pairs instead of hashing them:
+     O(m log m) with one flat scratch array, no per-edge boxes — the
+     difference between feasible and not at 10^7 edges *)
+  let m = Ugraph.n_edges u in
+  if m = 0 then 0
+  else begin
+    let packed = Array.make m 0 in
+    for id = 0 to m - 1 do
+      let s, d = Ugraph.endpoints u id in
+      packed.(id) <- (min s d lsl 31) lor max s d
+    done;
+    Array.sort compare packed;
+    let dups = ref 0 in
+    for i = 1 to m - 1 do
+      if packed.(i) = packed.(i - 1) then incr dups
+    done;
+    !dups
+  end

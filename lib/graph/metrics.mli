@@ -29,3 +29,25 @@ val parallel_edges : Digraph.t -> int
 
 val degree_sum_invariant : Digraph.t -> bool
 (** Handshake check: sum of total degrees = 2·edges. *)
+
+(** {2 Ugraph-native variants}
+
+    The same statistics computed from the flat CSR endpoint sections —
+    identical values to converting and calling the Digraph versions,
+    but with no boxed intermediate, so they work at 10M vertices on
+    mmap-loaded graphs (doc/SCALING.md). *)
+
+val u_in_degrees : Ugraph.t -> int array
+val u_out_degrees : Ugraph.t -> int array
+
+val u_total_degrees : Ugraph.t -> int array
+(** Loop-counts-twice convention, matching {!total_degrees} (note
+    {!Ugraph.degree} counts a loop once — that is the observable
+    incidence count, not this sum). *)
+
+val u_mean_degree : Ugraph.t -> float
+val u_self_loops : Ugraph.t -> int
+
+val u_parallel_edges : Ugraph.t -> int
+(** Same count as {!parallel_edges}, via a packed endpoint-pair sort
+    instead of a hash table (O(m log m), one flat scratch array). *)

@@ -1,53 +1,48 @@
 type vertex = int
 
-type t = {
-  srcs : int array; (* edge id -> src *)
-  dsts : int array; (* edge id -> dst *)
-  incidence : int array array; (* vertex-1 -> incident edge ids *)
-}
+(* The view is exactly a frozen CSR structure; every query delegates.
+   Keeping the type abstract lets the mmap loader (lib/store) hand out
+   file-backed views through the same interface. *)
+type t = Csr.t
 
-let of_digraph g =
-  let m = Digraph.n_edges g and n = Digraph.n_vertices g in
-  let srcs = Array.make m 0 and dsts = Array.make m 0 in
-  let counts = Array.make n 0 in
-  for id = 0 to m - 1 do
-    let e = Digraph.edge g id in
-    srcs.(id) <- e.Digraph.src;
-    dsts.(id) <- e.Digraph.dst;
-    counts.(e.Digraph.src - 1) <- counts.(e.Digraph.src - 1) + 1;
-    if e.Digraph.dst <> e.Digraph.src then counts.(e.Digraph.dst - 1) <- counts.(e.Digraph.dst - 1) + 1
-  done;
-  let incidence = Array.init n (fun i -> Array.make counts.(i) 0) in
-  let fill = Array.make n 0 in
-  for id = 0 to m - 1 do
-    let s = srcs.(id) - 1 and d = dsts.(id) - 1 in
-    incidence.(s).(fill.(s)) <- id;
-    fill.(s) <- fill.(s) + 1;
-    if d <> s then begin
-      incidence.(d).(fill.(d)) <- id;
-      fill.(d) <- fill.(d) + 1
-    end
-  done;
-  { srcs; dsts; incidence }
+let of_csr c = c
+let csr t = t
 
-let n_vertices t = Array.length t.incidence
-let n_edges t = Array.length t.srcs
-let mem_vertex t v = v >= 1 && v <= n_vertices t
+let of_digraph = Csr.of_digraph
+
+let n_vertices = Csr.n_vertices
+let n_edges = Csr.n_edges
+let mem_vertex = Csr.mem_vertex
 
 let check_vertex t v name =
   if not (mem_vertex t v) then invalid_arg ("Ugraph." ^ name ^ ": vertex out of range")
 
 let degree t v =
   check_vertex t v "degree";
-  Array.length t.incidence.(v - 1)
+  Csr.degree t v
+
+let incident_count = degree
+
+let incident_nth t v i =
+  check_vertex t v "incident_nth";
+  Csr.incident_nth t v i
+
+let iter_incident t v f =
+  check_vertex t v "iter_incident";
+  Csr.iter_incident t v f
 
 let incident t v =
   check_vertex t v "incident";
-  t.incidence.(v - 1)
+  let d = Csr.degree t v in
+  let out = Array.make d 0 in
+  for i = 0 to d - 1 do
+    out.(i) <- Csr.incident_nth t v i
+  done;
+  out
 
 let endpoints t id =
-  if id < 0 || id >= n_edges t then invalid_arg "Ugraph.endpoints: edge id out of range";
-  (t.srcs.(id), t.dsts.(id))
+  if id < 0 || id >= Csr.n_edges t then invalid_arg "Ugraph.endpoints: edge id out of range";
+  (Csr.src t id, Csr.dst t id)
 
 let other_endpoint t ~edge_id v =
   let s, d = endpoints t edge_id in
@@ -56,11 +51,13 @@ let other_endpoint t ~edge_id v =
   else invalid_arg "Ugraph.other_endpoint: vertex is not an endpoint"
 
 let iter_neighbors t v f =
-  Array.iter (fun id -> f (other_endpoint t ~edge_id:id v)) (incident t v)
+  check_vertex t v "iter_neighbors";
+  Csr.iter_neighbors t v f
 
 let neighbors t v =
   let acc = ref [] in
   iter_neighbors t v (fun u -> acc := u :: !acc);
   List.rev !acc
 
-let max_degree t = Array.fold_left (fun acc inc -> max acc (Array.length inc)) 0 t.incidence
+let max_degree = Csr.max_degree
+let memory_bytes = Csr.memory_bytes

@@ -126,6 +126,27 @@ let tests ~quick =
               (Sf_sim.Query_sim.Flood { ttl = 6 })
               ~source:1
               ~holders:(Sf_sim.Query_sim.single_target net (n_conf / 2)))));
+    (* giant-graph engine hot paths (doc/SCALING.md): the Bigvec-backed
+       Móri grower, the alias-sampled Cooper–Frieze grower, the CSR
+       freeze, and the SFGB-v2 write+map round trip *)
+    mk
+      (Printf.sprintf "gen: mori giant tree t=%d (T1)" (scale 8192))
+      (fun () ->
+        ignore (Sf_gen.Mori.tree_giant (Sf_prng.Rng.copy rng0) ~p:0.5 ~t:(scale 8192)));
+    mk
+      (Printf.sprintf "gen: cooper-frieze giant n=%d (T4)" (scale 4096))
+      (fun () ->
+        ignore
+          (Sf_gen.Cooper_frieze.generate_n_vertices_giant (Sf_prng.Rng.copy rng0)
+             Sf_gen.Cooper_frieze.default ~n:(scale 4096)));
+    mk
+      (Printf.sprintf "graph: csr freeze n=%d" (scale 16_384))
+      (fun () -> ignore (Sf_graph.Csr.of_digraph mori_16k));
+    (let path = Filename.temp_file "sfbench_v2" ".sfg" in
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     mk "store: sfgb-v2 write+map roundtrip" (fun () ->
+         Sf_store.Csr_codec.write_ugraph_file mori_u ~path;
+         ignore (Sf_store.Csr_codec.map_ugraph_file ~path ())));
     (* event queue throughput *)
     mk "sim: event queue 10k schedule+drain" (fun () ->
         let q = Sf_sim.Event_queue.create () in

@@ -20,26 +20,33 @@ type vertex = int
 type handle = int
 type model = Weak | Strong
 
+(* Per-vertex flags live in Bytes, not [bool array]: one byte per
+   vertex instead of one word, which is what keeps a single oracle on
+   a 10M-vertex CSR graph to tens of MB of search state
+   (doc/SCALING.md). *)
 type t = {
   model : model;
   g : Ugraph.t;
   target : vertex;
   source : vertex;
-  near_target : bool array; (* target's closed neighbourhood *)
+  near_target : Bytes.t; (* target's closed neighbourhood *)
   rng : Rng.t;
   obfuscate : bool;
   pub_of_real : (int, int) Hashtbl.t;
   real_of_pub : Vec.t;
-  discovered : bool array;
+  discovered : Bytes.t;
   order : Vec.t; (* discovery sequence *)
   parent : int array; (* discovery tree: revealing vertex, 0 for roots *)
   handle_lists : int array array; (* vertex-1 -> public handles, [||] until discovered *)
   requested : (int, unit) Hashtbl.t; (* public ids of paid weak requests *)
-  explored : bool array; (* strong-requested vertices *)
+  explored : Bytes.t; (* strong-requested vertices *)
   mutable request_count : int;
   mutable found_at : int option;
   mutable neighbor_at : int option;
 }
+
+let flag flags v = Bytes.get flags (v - 1) <> '\000'
+let set_flag flags v = Bytes.set flags (v - 1) '\001'
 
 let publicize t real_id =
   if not t.obfuscate then real_id
@@ -61,15 +68,21 @@ let realize t pub =
   else Vec.get t.real_of_pub pub
 
 let discover ?(via = 0) t v =
-  if not t.discovered.(v - 1) then begin
+  if not (flag t.discovered v) then begin
     if Sf_obs.Registry.enabled () then Sf_obs.Counter.incr obs_discoveries;
-    t.discovered.(v - 1) <- true;
+    set_flag t.discovered v;
     t.parent.(v - 1) <- via;
     Vec.push t.order v;
-    let pubs = Array.map (publicize t) (Ugraph.incident t.g v) in
+    (* an explicit ascending loop: publicize assigns public ids in
+       first-exposure order, so the fill order is load-bearing *)
+    let d = Ugraph.degree t.g v in
+    let pubs = Array.make d 0 in
+    for i = 0 to d - 1 do
+      pubs.(i) <- publicize t (Ugraph.incident_nth t.g v i)
+    done;
     if t.obfuscate then Sf_prng.Shuffle.in_place t.rng pubs;
     t.handle_lists.(v - 1) <- pubs;
-    if t.near_target.(v - 1) && t.neighbor_at = None then
+    if flag t.near_target v && t.neighbor_at = None then
       t.neighbor_at <- Some t.request_count;
     if v = t.target && t.found_at = None then t.found_at <- Some t.request_count
   end
@@ -78,9 +91,9 @@ let start ?(obfuscate = true) ~rng model g ~source ~target =
   if not (Ugraph.mem_vertex g source) then invalid_arg "Oracle.start: bad source";
   if not (Ugraph.mem_vertex g target) then invalid_arg "Oracle.start: bad target";
   let n = Ugraph.n_vertices g in
-  let near_target = Array.make n false in
-  near_target.(target - 1) <- true;
-  Ugraph.iter_neighbors g target (fun u -> near_target.(u - 1) <- true);
+  let near_target = Bytes.make n '\000' in
+  set_flag near_target target;
+  Ugraph.iter_neighbors g target (fun u -> set_flag near_target u);
   let t =
     {
       model;
@@ -92,12 +105,12 @@ let start ?(obfuscate = true) ~rng model g ~source ~target =
       obfuscate;
       pub_of_real = Hashtbl.create 64;
       real_of_pub = Vec.create ();
-      discovered = Array.make n false;
+      discovered = Bytes.make n '\000';
       order = Vec.create ();
       parent = Array.make n 0;
       handle_lists = Array.make n [||];
       requested = Hashtbl.create 64;
-      explored = Array.make n false;
+      explored = Bytes.make n '\000';
       request_count = 0;
       found_at = None;
       neighbor_at = None;
@@ -113,7 +126,7 @@ let target t = t.target
 let source t = t.source
 let requests t = t.request_count
 
-let is_discovered t v = Ugraph.mem_vertex t.g v && t.discovered.(v - 1)
+let is_discovered t v = Ugraph.mem_vertex t.g v && flag t.discovered v
 
 let discovered_count t = Vec.length t.order
 let discovered_nth t i = Vec.get t.order i
@@ -132,7 +145,7 @@ let handle_requested t h = Hashtbl.mem t.requested h
 let endpoints_if_known t h =
   let real = realize t h in
   let s, d = Ugraph.endpoints t.g real in
-  if t.discovered.(s - 1) && t.discovered.(d - 1) then Some (s, d) else None
+  if flag t.discovered s && flag t.discovered d then Some (s, d) else None
 
 let trace_request t ~kind ~at ~before =
   let after = Vec.length t.order in
@@ -174,7 +187,7 @@ let request_strong t v =
   let tracing = Sf_obs.Trace.active () in
   let before = if tracing then Vec.length t.order else 0 in
   t.request_count <- t.request_count + 1;
-  t.explored.(v - 1) <- true;
+  set_flag t.explored v;
   let seen = Hashtbl.create 8 in
   let acc = ref [] in
   Ugraph.iter_neighbors t.g v (fun u ->
@@ -188,7 +201,7 @@ let request_strong t v =
 
 let is_explored t v =
   check_discovered t v "is_explored";
-  t.explored.(v - 1)
+  flag t.explored v
 
 let discovery_parent t v =
   check_discovered t v "discovery_parent";

@@ -20,9 +20,9 @@ let default_params ~n =
 type result = { hit : bool; messages : int; contacted : int; replicas : int }
 
 let random_step rng g v =
-  let inc = Ugraph.incident g v in
-  if Array.length inc = 0 then v
-  else Ugraph.other_endpoint g ~edge_id:inc.(Rng.int rng (Array.length inc)) v
+  let deg = Ugraph.degree g v in
+  if deg = 0 then v
+  else Ugraph.other_endpoint g ~edge_id:(Ugraph.incident_nth g v (Rng.int rng deg)) v
 
 let replicate rng g ~owner ~walk_length =
   let members = Array.make (Ugraph.n_vertices g) false in
@@ -66,15 +66,12 @@ let query rng g params ~source ~replicas =
          incident edge independently with probability broadcast_prob. *)
       while (not (Queue.is_empty queue)) && !messages < params.max_messages do
         let v = Queue.pop queue in
-        let inc = Ugraph.incident g v in
-        Array.iter
-          (fun edge_id ->
+        Ugraph.iter_incident g v (fun edge_id ->
             if !messages < params.max_messages && Rng.bernoulli rng params.broadcast_prob
             then begin
               incr messages;
               touch (Ugraph.other_endpoint g ~edge_id v)
             end)
-          inc
       done;
       None
     with Found at -> Some at

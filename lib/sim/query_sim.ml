@@ -115,9 +115,11 @@ let query ?max_messages ?(alive = fun _ _ -> true) ~rng net protocol ~source ~ho
   in
   let forward_walker v ~ttl =
     if ttl > 0 then begin
-      let inc = Ugraph.incident g v in
-      if Array.length inc > 0 then begin
-        let u = Ugraph.other_endpoint g ~edge_id:inc.(Rng.int rng (Array.length inc)) v in
+      let deg = Ugraph.degree g v in
+      if deg > 0 then begin
+        let u =
+          Ugraph.other_endpoint g ~edge_id:(Ugraph.incident_nth g v (Rng.int rng deg)) v
+        in
         send ~from:v ~dst:u ~ttl:(ttl - 1) ~kind:Walker
       end
     end

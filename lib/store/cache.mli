@@ -61,6 +61,26 @@ val add :
 (** Store an object and append its index line. Re-adding a
     fingerprint overwrites the object and supersedes the line. *)
 
+val find_ugraph : t -> Fingerprint.key -> (Sf_graph.Ugraph.t * entry) option
+(** Container-agnostic {!find}: version-2 objects open as mmap-backed
+    CSR graphs ({!Csr_codec.map_ugraph_file}, CRC verified), version-1
+    objects decode and convert. Counters, LRU touch and
+    corrupt-eviction behave exactly as in {!find}. *)
+
+val add_ugraph :
+  t ->
+  Fingerprint.key ->
+  graph:Sf_graph.Ugraph.t ->
+  target:int ->
+  rng_after:string ->
+  format:[ `V1 | `V2 ] ->
+  unit
+(** Store in the chosen container. Both versions share the
+    [<fp>.sfg] namespace — the version byte in the file, not the
+    name, selects the read path — so gc and the index treat them
+    uniformly. [`V1] is compact (varints, ~1–2 bytes/edge), [`V2] is
+    mmap-readable (~12 bytes/edge); {!Corpus} picks by graph size. *)
+
 val mem : t -> Fingerprint.key -> bool
 (** Pure membership probe — no counters, no LRU touch. *)
 
@@ -75,8 +95,11 @@ val gc : t -> budget_bytes:int -> entry list
     @raise Invalid_argument on a negative budget. *)
 
 val verify : t -> (entry * (unit, string) result) list
-(** Decode every object against its checksum, in LRU order, without
-    touching counters or LRU state. *)
+(** Check every object against its checksum, in LRU order, without
+    touching counters or LRU state. Version-1 objects are fully
+    decoded; version-2 objects are CRC-verified and then put through
+    the deep structural audit ([Csr.validate]) that the fast mmap
+    read path deliberately skips. *)
 
 val remove : t -> string -> bool
 (** Remove one entry by fingerprint; [false] if absent. *)

@@ -35,8 +35,14 @@ val instance :
   int ->
   Sf_graph.Ugraph.t * int
 (** [instance ~gen ~params make rng n] is [make rng n] routed through
-    the corpus: a hit decodes the stored graph, restores the stream
+    the corpus: a hit opens the stored graph, restores the stream
     and skips [make]; a miss (or corrupt entry) runs [make] and stores
     graph, target and post-generation stream. [params] must render
     every parameter [make] closes over, in a fixed order — two
-    distinct generators must never share a coordinate. *)
+    distinct generators must never share a coordinate.
+
+    Objects at or above [2^18] edges are stored in the version-2 mmap
+    container and open without a decode pass ({!Csr_codec}); smaller
+    ones use the compact version-1 codec. Reads sniff the version
+    byte, so a corpus written before this split keeps working and the
+    byte-identity contract is unchanged either way. *)

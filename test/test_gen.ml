@@ -103,6 +103,81 @@ let test_mori_conditioned_matches_conditional_law () =
     true
     (Float.abs (freq -. exact) < 0.012)
 
+(* --- giant engine ----------------------------------------------------- *)
+
+let test_mori_giant_samplewise_parity () =
+  (* the giant engine must be the SAME random variable as the legacy
+     path: same stream -> identical edge list, not merely equal law *)
+  List.iter
+    (fun (p, m, n, seed) ->
+      let legacy = Ugraph.of_digraph (Mori.graph (Rng.of_seed seed) ~p ~m ~n) in
+      let giant = Mori.graph_giant (Rng.of_seed seed) ~p ~m ~n in
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%g m=%d n=%d identical" p m n)
+        true
+        (Sf_graph.Csr.equal (Ugraph.csr legacy) (Ugraph.csr giant)))
+    [ (0.5, 1, 100, 11); (0.5, 3, 64, 12); (0.9, 2, 500, 13); (0.1, 4, 25, 14); (1.0, 1, 50, 15) ]
+
+let test_mori_giant_fathers_match_tree () =
+  let seed = 21 and p = 0.7 and t = 400 in
+  let legacy = Mori.fathers (Mori.tree (Rng.of_seed seed) ~p ~t) in
+  let giant = Mori.tree_fathers (Rng.of_seed seed) ~p ~t in
+  Alcotest.(check int) "length" (t - 1) (Sf_graph.Bigvec.length giant);
+  Array.iteri
+    (fun i f -> Alcotest.(check int) "father" f (Sf_graph.Bigvec.get giant i))
+    legacy
+
+let test_mori_giant_rng_stream_position () =
+  (* after generation both paths must leave the stream at the same
+     point — the corpus fingerprint/RNG-restore contract depends on a
+     deterministic number of draws *)
+  let rng_a = Rng.of_seed 31 and rng_b = Rng.of_seed 31 in
+  ignore (Mori.graph rng_a ~p:0.5 ~m:2 ~n:80);
+  ignore (Mori.graph_giant rng_b ~p:0.5 ~m:2 ~n:80);
+  Alcotest.(check int) "next draw agrees" (Rng.int rng_a 1_000_000) (Rng.int rng_b 1_000_000)
+
+let test_cf_giant_structure () =
+  let g = Cooper_frieze.generate_n_vertices_giant (Rng.of_seed 41) Cooper_frieze.default ~n:800 in
+  Alcotest.(check int) "vertex count" 800 (Ugraph.n_vertices g);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  (match Sf_graph.Csr.validate (Ugraph.csr g) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("CSR invalid: " ^ msg));
+  (* vertex 1's self-loop survives as edge 0 *)
+  Alcotest.(check (pair int int)) "initial self-loop" (1, 1) (Ugraph.endpoints g 0)
+
+let test_cf_giant_degree_law_chi_square () =
+  (* The giant path consumes the stream differently (alias draws), so
+     equality is in law only.  Pool vertex degrees over many small
+     builds from both paths and require the two-sample chi-square test
+     not to reject.  Deterministic seeds make this a fixed, replayable
+     comparison. *)
+  let n = 120 and reps = 120 in
+  let degree_counts sample_graph =
+    let tbl = Hashtbl.create 32 in
+    for rep = 1 to reps do
+      let g = sample_graph rep in
+      for v = 1 to Ugraph.n_vertices g do
+        let key = string_of_int (Ugraph.degree g v) in
+        Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      done
+    done;
+    Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []
+  in
+  let legacy =
+    degree_counts (fun rep ->
+        Ugraph.of_digraph
+          (Cooper_frieze.generate_n_vertices (Rng.of_seed (1000 + rep)) Cooper_frieze.default ~n))
+  in
+  let giant =
+    degree_counts (fun rep ->
+        Cooper_frieze.generate_n_vertices_giant (Rng.of_seed (5000 + rep)) Cooper_frieze.default ~n)
+  in
+  let stat, dof, p_value = Sf_stats.Tests.chi_square_two_sample legacy giant in
+  Alcotest.(check bool)
+    (Printf.sprintf "same degree law (chi2=%.2f dof=%d p=%.4f)" stat dof p_value)
+    true (p_value > 0.001)
+
 let test_merge_properties () =
   let rng = Rng.of_seed 8 in
   let m = 3 and n = 40 in
@@ -504,6 +579,18 @@ let prop_cf_always_connected =
       let g = Cooper_frieze.generate_n_vertices (Rng.of_seed seed) params ~n in
       Traversal.is_connected (Ugraph.of_digraph g))
 
+let prop_mori_giant_parity =
+  QCheck.Test.make ~name:"Mori giant engine samplewise equals legacy" ~count:40
+    QCheck.(
+      make
+        ~print:(fun (s, p, m, n) -> Printf.sprintf "(seed=%d p=%.2f m=%d n=%d)" s p m n)
+        Gen.(
+          quad (int_bound 100_000) (float_range 0.05 1.0) (int_range 1 4) (int_range 2 120)))
+    (fun (seed, p, m, n) ->
+      let legacy = Ugraph.of_digraph (Mori.graph (Rng.of_seed seed) ~p ~m ~n) in
+      let giant = Mori.graph_giant (Rng.of_seed seed) ~p ~m ~n in
+      Sf_graph.Csr.equal (Ugraph.csr legacy) (Ugraph.csr giant))
+
 let suite =
   [
     ("mori tree shape", `Quick, test_mori_tree_shape);
@@ -513,6 +600,11 @@ let suite =
     ("mori fathers accessor", `Quick, test_mori_fathers_accessor);
     ("mori conditioned event", `Quick, test_mori_conditioned_respects_event);
     ("mori conditioned law", `Slow, test_mori_conditioned_matches_conditional_law);
+    ("mori giant parity", `Quick, test_mori_giant_samplewise_parity);
+    ("mori giant fathers", `Quick, test_mori_giant_fathers_match_tree);
+    ("mori giant stream position", `Quick, test_mori_giant_rng_stream_position);
+    ("CF giant structure", `Quick, test_cf_giant_structure);
+    ("CF giant degree law", `Slow, test_cf_giant_degree_law_chi_square);
     ("merge properties", `Quick, test_merge_properties);
     ("merge m=1 identity", `Quick, test_merge_m1_is_identity);
     ("mori graph out-degrees", `Quick, test_mori_graph_out_degree);
@@ -552,4 +644,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_mori_tree_invariants;
     QCheck_alcotest.to_alcotest prop_config_model_degrees;
     QCheck_alcotest.to_alcotest prop_cf_always_connected;
+    QCheck_alcotest.to_alcotest prop_mori_giant_parity;
   ]

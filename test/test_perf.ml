@@ -404,7 +404,7 @@ let test_sparkline () =
    history is a declared dep one level up); dune exec from the project
    root — probe both so either invocation works *)
 let baseline_path =
-  let candidates = [ "../bench/history/BENCH_0001.json"; "bench/history/BENCH_0001.json" ] in
+  let candidates = [ "../bench/history/BENCH_0002.json"; "bench/history/BENCH_0002.json" ] in
   match List.find_opt Sys.file_exists candidates with
   | Some p -> p
   | None -> List.hd candidates

@@ -5,6 +5,7 @@
    (doc/STORAGE.md). *)
 
 module Codec = Sf_store.Codec
+module Csr_codec = Sf_store.Csr_codec
 module Codec_error = Sf_store.Codec_error
 module Varint = Sf_store.Varint
 module Crc32 = Sf_store.Crc32
@@ -216,6 +217,104 @@ let test_read_any_file_dispatch () =
       Alcotest.(check bool) "edge lists do not sniff binary" false (Codec.looks_binary "3 2\n"))
 
 (* ---------------------------------------------------------------- *)
+(* The giant container (SFGB v2)                                     *)
+(* ---------------------------------------------------------------- *)
+
+let same_ugraph a b = Sf_graph.Csr.equal (Ugraph.csr a) (Ugraph.csr b)
+
+let test_csr_codec_roundtrip () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "g.sfg" in
+      let u = Sf_gen.Mori.graph_giant (Rng.of_seed 61) ~p:0.6 ~m:2 ~n:300 in
+      Csr_codec.write_ugraph_file u ~path;
+      Alcotest.(check int)
+        "file size is the documented arithmetic"
+        (Csr_codec.file_bytes ~n:(Ugraph.n_vertices u) ~m:(Ugraph.n_edges u)
+           ~inc_len:(Bigarray.Array1.dim (Ugraph.csr u).Sf_graph.Csr.inc))
+        (Unix.stat path).Unix.st_size;
+      let mapped = Csr_codec.map_ugraph_file ~path () in
+      Alcotest.(check bool) "mapped graph identical" true (same_ugraph u mapped);
+      (match Sf_graph.Csr.validate (Ugraph.csr mapped) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail ("mapped CSR invalid: " ^ msg));
+      let unverified = Csr_codec.map_ugraph_file ~verify:false ~path () in
+      Alcotest.(check bool) "verify:false agrees" true (same_ugraph u unverified);
+      (* a mapped graph must drive searches exactly like the original *)
+      let search g =
+        Sf_search.Runner.search ~budget:600 ~rng:(Rng.of_seed 62) g
+          Sf_search.Strategies.high_degree ~source:1 ~target:(Ugraph.n_vertices g)
+      in
+      Alcotest.(check bool) "search replay identical" true (search u = search mapped))
+
+let qcheck_csr_codec_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"giant container round-trips model graphs exactly"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.of_seed seed in
+      let u = Ugraph.of_digraph (random_model_graph rng) in
+      with_temp_dir (fun dir ->
+          let path = Filename.concat dir "g.sfg" in
+          Csr_codec.write_ugraph_file u ~path;
+          same_ugraph u (Csr_codec.map_ugraph_file ~path ())))
+
+let expect_csr_codec_error what thunk =
+  match thunk () with
+  | (_ : Ugraph.t) -> Alcotest.failf "%s: map accepted malformed input" what
+  | exception Codec_error.Error _ -> ()
+
+let test_csr_codec_rejects_truncations () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "g.sfg" in
+      let u = Ugraph.of_digraph (Digraph.of_edges ~n:5 [ (1, 2); (1, 3); (2, 4); (4, 5) ]) in
+      Csr_codec.write_ugraph_file u ~path;
+      let good = In_channel.with_open_bin path In_channel.input_all in
+      let cut = Filename.concat dir "cut.sfg" in
+      for len = 0 to String.length good - 1 do
+        Out_channel.with_open_bin cut (fun oc -> output_string oc (String.sub good 0 len));
+        expect_csr_codec_error
+          (Printf.sprintf "truncation to %d bytes" len)
+          (fun () -> Csr_codec.map_ugraph_file ~path:cut ())
+      done)
+
+let test_csr_codec_rejects_bit_flips () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "g.sfg" in
+      let u = Sf_gen.Mori.graph_giant (Rng.of_seed 63) ~p:0.5 ~m:1 ~n:40 in
+      Csr_codec.write_ugraph_file u ~path;
+      let good = In_channel.with_open_bin path In_channel.input_all in
+      let rng = Rng.of_seed 64 in
+      let bad = Filename.concat dir "bad.sfg" in
+      String.iteri
+        (fun i _ ->
+          let mutated = Bytes.of_string good in
+          Bytes.set mutated i
+            (Char.chr (Char.code (Bytes.get mutated i) lxor (1 lsl Rng.int rng 8)));
+          Out_channel.with_open_bin bad (fun oc -> output_bytes oc mutated);
+          expect_csr_codec_error
+            (Printf.sprintf "bit flip at byte %d" i)
+            (fun () -> Csr_codec.map_ugraph_file ~path:bad ()))
+        good)
+
+let test_load_ugraph_dispatch () =
+  with_temp_dir (fun dir ->
+      let g = Digraph.of_edges ~n:3 [ (1, 2); (2, 3) ] in
+      let u = Ugraph.of_digraph g in
+      let v1 = Filename.concat dir "v1.sfg"
+      and v2 = Filename.concat dir "v2.sfg"
+      and txt = Filename.concat dir "g.edges" in
+      Codec.write_graph_file g ~path:v1;
+      Csr_codec.write_ugraph_file u ~path:v2;
+      Sf_graph.Gio.write_edge_list g ~path:txt;
+      Alcotest.(check (option int)) "v1 sniffs 1" (Some 1) (Csr_codec.sniff_version v1);
+      Alcotest.(check (option int)) "v2 sniffs 2" (Some 2) (Csr_codec.sniff_version v2);
+      Alcotest.(check (option int)) "text sniffs none" None (Csr_codec.sniff_version txt);
+      List.iter
+        (fun (what, path) ->
+          Alcotest.(check bool) (what ^ " loads identically") true
+            (same_ugraph u (Csr_codec.load_ugraph ~path ())))
+        [ ("v1", v1); ("v2", v2); ("edge list", txt) ])
+
+(* ---------------------------------------------------------------- *)
 (* Fingerprints                                                      *)
 (* ---------------------------------------------------------------- *)
 
@@ -367,6 +466,40 @@ let test_cache_tolerates_index_garbage () =
             (List.length (Cache.entries cache));
           Alcotest.(check bool) "and still hits" true (Cache.find cache k <> None)))
 
+let test_cache_ugraph_both_containers () =
+  with_cache (fun dir cache ->
+      let u = Sf_gen.Mori.graph_giant (Rng.of_seed 71) ~p:0.6 ~m:2 ~n:80 in
+      List.iter
+        (fun (what, format, k) ->
+          Cache.add_ugraph cache k ~graph:u ~target:5 ~rng_after:(String.make 64 'a') ~format;
+          match Cache.find_ugraph cache k with
+          | None -> Alcotest.failf "%s: stored object missed" what
+          | Some (u', e) ->
+            Alcotest.(check bool) (what ^ ": identical graph") true (same_ugraph u u');
+            Alcotest.(check int) (what ^ ": target kept") 5 e.Cache.target)
+        [ ("v1", `V1, key ~n:80 ()); ("v2", `V2, key ~n:81 ()) ];
+      (* verify covers both containers in one sweep *)
+      List.iter
+        (fun (e, status) ->
+          match status with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "verify rejected %s: %s" e.Cache.fp msg)
+        (Cache.verify cache);
+      (* corrupting a v2 object turns its verify entry into an error
+         and its find into a counted miss *)
+      let fp2 = Fingerprint.hex (key ~n:81 ()) in
+      let path = Filename.concat (Filename.concat dir "objects") (fp2 ^ ".sfg") in
+      let bytes = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      Bytes.set bytes 40 (Char.chr (Char.code (Bytes.get bytes 40) lxor 1));
+      Out_channel.with_open_bin path (fun oc -> output_bytes oc bytes);
+      Alcotest.(check bool) "verify flags the corrupt v2 object" true
+        (List.exists (fun (_, s) -> Result.is_error s) (Cache.verify cache));
+      let corrupt0 = Sf_obs.Counter.value c_corrupt in
+      Alcotest.(check bool) "find_ugraph reports a miss" true
+        (Cache.find_ugraph cache (key ~n:81 ()) = None);
+      Alcotest.(check bool) "corrupt counter ticked" true
+        (Sf_obs.Counter.value c_corrupt > corrupt0))
+
 (* ---------------------------------------------------------------- *)
 (* The corpus determinism contract                                   *)
 (* ---------------------------------------------------------------- *)
@@ -408,6 +541,36 @@ let test_corpus_hit_skips_generation_and_restores_stream () =
           let warm = run () in
           Alcotest.(check int) "warm run did not generate" 1 !calls;
           Alcotest.(check bool) "identical graph, target and stream" true (cold = warm)))
+
+let test_corpus_v2_threshold () =
+  (* a maker above the edge threshold must land in the v2 container,
+     and the warm read must restore graph, target and stream exactly *)
+  with_cache (fun dir cache ->
+      with_corpus cache (fun () ->
+          let n = (1 lsl 18) + 2 (* m-1 tree: edges = n - 1 >= 2^18 *) in
+          let calls = ref 0 in
+          let maker rng n =
+            Corpus.instance ~gen:"giant-test" ~params:[ ("p", "0.6") ]
+              (fun rng n ->
+                incr calls;
+                (Sf_gen.Mori.graph_giant rng ~p:0.6 ~m:1 ~n, n))
+              rng n
+          in
+          let run () =
+            let rng = Rng.of_seed 81 in
+            let u, target = maker rng n in
+            (Ugraph.n_edges u, Ugraph.degree u 1, target, Rng.int rng 1_000_000)
+          in
+          let cold = run () in
+          Alcotest.(check int) "cold generated" 1 !calls;
+          let objects = Sys.readdir (Filename.concat dir "objects") in
+          Alcotest.(check int) "one object" 1 (Array.length objects);
+          let path = Filename.concat (Filename.concat dir "objects") objects.(0) in
+          Alcotest.(check (option int)) "stored in the v2 container" (Some 2)
+            (Csr_codec.sniff_version path);
+          let warm = run () in
+          Alcotest.(check int) "warm did not generate" 1 !calls;
+          Alcotest.(check bool) "warm result identical" true (cold = warm)))
 
 let grid_csv ~jobs () =
   let master = Rng.of_seed 4242 in
@@ -464,6 +627,13 @@ let suite =
     ("decode: truncations", `Quick, test_decode_rejects_truncations);
     ("decode: bit flips", `Quick, test_decode_rejects_bit_flips);
     ("read_any_file dispatch", `Quick, test_read_any_file_dispatch);
+    ("giant container: round trip", `Quick, test_csr_codec_roundtrip);
+    QCheck_alcotest.to_alcotest qcheck_csr_codec_roundtrip;
+    ("giant container: truncations", `Quick, test_csr_codec_rejects_truncations);
+    ("giant container: bit flips", `Quick, test_csr_codec_rejects_bit_flips);
+    ("giant container: load dispatch", `Quick, test_load_ugraph_dispatch);
+    ("cache: both containers", `Quick, test_cache_ugraph_both_containers);
+    ("corpus: v2 threshold", `Slow, test_corpus_v2_threshold);
     ("fingerprint: distinct coordinates", `Quick, test_fingerprint_distinct_coordinates);
     ("fingerprint: rng token round trip", `Quick, test_rng_token_roundtrip);
     ("cache: miss then hit", `Quick, test_cache_miss_then_hit);
