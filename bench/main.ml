@@ -24,7 +24,12 @@
      main.exe --corpus DIR    content-addressed graph corpus cache
                               (default: SCALEFREE_CORPUS if set)
      main.exe --baseline F    metric-name baseline for --quick
-                              (default bench/baseline_quick.json) *)
+                              (default bench/baseline_quick.json)
+     main.exe --telemetry P   serve live telemetry on a unix socket at P
+                              (default: SCALEFREE_TELEMETRY if set);
+                              attach with sftop P
+     main.exe --telemetry-tick S
+                              telemetry sampling period (default 0.5) *)
 
 type options = {
   quick : bool;
@@ -39,6 +44,8 @@ type options = {
   jobs : int;
   corpus : string option;
   baseline : string;
+  telemetry : string option;
+  telemetry_tick : float;
 }
 
 let parse_args () =
@@ -53,7 +60,9 @@ let parse_args () =
   and progress = ref false
   and jobs = ref 0
   and corpus = ref ""
-  and baseline = ref "bench/baseline_quick.json" in
+  and baseline = ref "bench/baseline_quick.json"
+  and telemetry = ref ""
+  and telemetry_tick = ref 0.5 in
   let spec =
     [
       ("--quick", Arg.Set quick, "reduced problem sizes");
@@ -81,6 +90,14 @@ let parse_args () =
       ( "--baseline",
         Arg.Set_string baseline,
         "metric-name baseline diffed against in --quick mode" );
+      ( "--telemetry",
+        Arg.Set_string telemetry,
+        "serve live telemetry on a unix-domain socket at PATH while the run is in \
+         flight (doc/OBSERVABILITY.md; attach with sftop PATH; default: \
+         SCALEFREE_TELEMETRY if set)" );
+      ( "--telemetry-tick",
+        Arg.Set_float telemetry_tick,
+        "background sampling period of the telemetry time series (default 0.5)" );
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) "bench/main.exe";
@@ -101,6 +118,13 @@ let parse_args () =
     jobs = !jobs;
     corpus = (if !corpus = "" then None else Some !corpus);
     baseline = !baseline;
+    telemetry =
+      (if !telemetry <> "" then Some !telemetry
+       else
+         match Sys.getenv_opt "SCALEFREE_TELEMETRY" with
+         | Some "" | None -> None
+         | Some _ as p -> p);
+    telemetry_tick = !telemetry_tick;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -203,7 +227,7 @@ let run_microbenchmarks ~quick =
 (* Part 3: the run manifest and the baseline shape check               *)
 (* ------------------------------------------------------------------ *)
 
-let write_manifest opts ~wall0 ~cpu0 path =
+let write_manifest opts ~wall0 ~cpu0 ~telem path =
   let wall_s = Unix.gettimeofday () -. wall0 in
   let cpu_s = Sys.time () -. cpu0 in
   let extra =
@@ -218,6 +242,7 @@ let write_manifest opts ~wall0 ~cpu0 path =
       ( "parallel_speedup",
         Sf_obs.Export.json_float (if wall_s > 0. then cpu_s /. wall_s else 1.) );
     ]
+    @ Sf_obs.Expose.manifest_extras ?listener:(Option.map snd telem) ()
     @
     (* a warm-cache run is auditable from the manifest alone: cache.hit
        / cache.miss say what happened, corpus_dir says where *)
@@ -295,9 +320,34 @@ let attach_trace_sinks opts =
       ~action:(fun f ->
         Printf.eprintf "flight recorder: a strategy gave up; recent events:\n";
         Sf_obs.Flight.dump f);
+    (* kill -USR1 <pid> dumps the same ring for stuck runs *)
+    ignore (Sf_obs.Flight.install_sigusr1 flight);
     ( Some flight,
       [ Sf_obs.Trace.attach (Sf_obs.Flight.sink flight); Sf_obs.Trace_export.attach_file path ]
     )
+
+(* The --telemetry bracket: a Series sampler plus the socket listener,
+   stopped before the manifest is written so the final rss_peak and
+   scrape figures cover the whole run. *)
+let start_telemetry opts =
+  match opts.telemetry with
+  | None -> None
+  | Some path when not opts.obs ->
+    Printf.eprintf
+      "observability is disabled (--no-obs); not serving telemetry on %s\n" path;
+    None
+  | Some path ->
+    let series = Sf_obs.Series.create ~tick_s:opts.telemetry_tick () in
+    let listener = Sf_obs.Expose.serve ~series ~path () in
+    Sf_obs.Series.start series;
+    Printf.eprintf "serving live telemetry on %s (attach with: sftop %s)\n%!" path path;
+    Some (series, listener)
+
+let stop_telemetry = function
+  | None -> ()
+  | Some (series, listener) ->
+    Sf_obs.Expose.stop listener;
+    Sf_obs.Series.stop series
 
 let () =
   let opts = parse_args () in
@@ -310,6 +360,7 @@ let () =
   Sf_store.Corpus.configure ?dir:opts.corpus ();
   if not opts.obs then Sf_obs.Registry.set_enabled false;
   let flight, sink_ids = attach_trace_sinks opts in
+  let telem = start_telemetry opts in
   let close_trace () =
     List.iter Sf_obs.Trace.detach sink_ids;
     match opts.trace with
@@ -344,11 +395,13 @@ let () =
          (Printexc.to_string exn);
        Sf_obs.Flight.dump f
      | Some _ | None -> ());
+     stop_telemetry telem;
      close_trace ();
      (* a partial trace file is still written *)
      raise exn);
+  stop_telemetry telem;
   close_trace ();
-  Option.iter (write_manifest opts ~wall0 ~cpu0) opts.metrics;
+  Option.iter (write_manifest opts ~wall0 ~cpu0 ~telem) opts.metrics;
   let shape_ok =
     (* the check needs the full default metric surface: skip it when a
        subset of the work ran, or when instrumentation is off *)

@@ -23,6 +23,8 @@ type t = {
   progress : bool;
   jobs : int option;
   corpus : string option;
+  telemetry : string option;
+  telemetry_tick : float;
 }
 
 let term =
@@ -75,17 +77,67 @@ let term =
              are stored under $(docv) and replayed on later runs with byte-identical \
              results. Default: $(b,SCALEFREE_CORPUS) if set, else no cache")
   in
+  let telemetry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"PATH"
+          ~doc:
+            "Serve live telemetry on a unix-domain socket at $(docv) while the run is \
+             in flight: $(b,sftop) $(docv) attaches a dashboard, and the socket \
+             answers $(b,metrics) (Prometheus text), $(b,json) and $(b,series) \
+             commands (doc/OBSERVABILITY.md). Default: $(b,SCALEFREE_TELEMETRY) if \
+             set, else off")
+  in
+  let telemetry_tick =
+    Arg.(
+      value & opt float 0.5
+      & info [ "telemetry-tick" ] ~docv:"SECONDS"
+          ~doc:"Background sampling period for the telemetry time series")
+  in
   Term.(
-    const (fun metrics no_obs trace progress jobs corpus ->
-        { metrics; no_obs; trace; progress; jobs; corpus })
-    $ metrics $ no_obs $ trace $ progress $ jobs $ corpus)
+    const (fun metrics no_obs trace progress jobs corpus telemetry telemetry_tick ->
+        { metrics; no_obs; trace; progress; jobs; corpus; telemetry; telemetry_tick })
+    $ metrics $ no_obs $ trace $ progress $ jobs $ corpus $ telemetry $ telemetry_tick)
 
 type session = {
   flight : Sf_obs.Flight.t option;
   sink_ids : Sf_obs.Trace.id list;
+  telem : (Sf_obs.Series.t * Sf_obs.Expose.listener) option;
   wall0 : float;
   cpu0 : float;
 }
+
+(* --telemetry beats SCALEFREE_TELEMETRY beats off, mirroring how
+   --jobs/SCALEFREE_JOBS and --corpus/SCALEFREE_CORPUS resolve *)
+let telemetry_path (t : t) =
+  match t.telemetry with
+  | Some _ as p -> p
+  | None -> (
+    match Sys.getenv_opt "SCALEFREE_TELEMETRY" with Some "" | None -> None | Some _ as p -> p)
+
+let start_telemetry (t : t) =
+  match telemetry_path t with
+  | None -> None
+  | Some path when t.no_obs ->
+    Printf.eprintf
+      "observability is disabled (--no-obs); not serving telemetry on %s\n" path;
+    None
+  | Some path ->
+    let series = Sf_obs.Series.create ~tick_s:t.telemetry_tick () in
+    let listener = Sf_obs.Expose.serve ~series ~path () in
+    Sf_obs.Series.start series;
+    Printf.eprintf "serving live telemetry on %s (attach with: sftop %s)\n%!" path path;
+    Some (series, listener)
+
+let stop_telemetry session =
+  match session.telem with
+  | None -> ()
+  | Some (series, listener) ->
+    (* listener first: a scrape arriving mid-shutdown would race the
+       sampler join; after [stop] the socket is gone *)
+    Sf_obs.Expose.stop listener;
+    Sf_obs.Series.stop series
 
 let start (t : t) =
   (* phase timings must not depend on Unix.gettimeofday: inject
@@ -98,9 +150,12 @@ let start (t : t) =
   (* before any domains spawn: the corpus handle is a process global *)
   Sf_store.Corpus.configure ?dir:t.corpus ();
   if t.no_obs then Sf_obs.Registry.set_enabled false;
+  let telem = start_telemetry t in
   (* Sys.time sums CPU across all domains, so cpu/wall is the achieved
      parallel speedup recorded in the manifest *)
-  let session sinks flight = { flight; sink_ids = sinks; wall0 = Unix.gettimeofday (); cpu0 = Sys.time () } in
+  let session sinks flight =
+    { flight; sink_ids = sinks; telem; wall0 = Unix.gettimeofday (); cpu0 = Sys.time () }
+  in
   match t.trace with
   | None -> session [] None
   | Some path when t.no_obs ->
@@ -116,6 +171,9 @@ let start (t : t) =
       ~action:(fun f ->
         Printf.eprintf "flight recorder: a strategy gave up; recent events:\n";
         Sf_obs.Flight.dump f);
+    (* kill -USR1 <pid> dumps the same ring, for runs that are stuck
+       rather than raising *)
+    ignore (Sf_obs.Flight.install_sigusr1 flight);
     let flight_id = Sf_obs.Trace.attach (Sf_obs.Flight.sink flight) in
     let file_id = Sf_obs.Trace_export.attach_file path in
     session [ flight_id; file_id ] (Some flight)
@@ -148,6 +206,9 @@ let corpus_extra () =
    names) are typically computed inside the body, after the session
    has already started. *)
 let finish (t : t) session ?(extra = fun () -> []) ~tool ~seed ~mode code =
+  (* telemetry stops before the manifest is written, so the final
+     rss_peak/scrape figures cover the whole body *)
+  stop_telemetry session;
   close_sinks session;
   (match t.trace with
   | Some path when not t.no_obs -> Printf.printf "wrote event trace to %s\n" path
@@ -157,7 +218,12 @@ let finish (t : t) session ?(extra = fun () -> []) ~tool ~seed ~mode code =
   | Some path -> (
     match
       Sf_obs.Export.write_manifest_checked
-        ~extra:(perf_extra session @ corpus_extra () @ extra ())
+        ~extra:
+          (perf_extra session
+          @ Sf_obs.Expose.manifest_extras
+              ?listener:(Option.map snd session.telem)
+              ()
+          @ corpus_extra () @ extra ())
         ~tool ~seed ~mode ~path ()
     with
     | `Written ->
@@ -184,5 +250,6 @@ let with_session (t : t) ?extra ~tool ~seed ~mode body =
         (Printexc.to_string exn);
       Sf_obs.Flight.dump f
     | Some _ | None -> ());
+    stop_telemetry session;
     close_sinks session;
     raise exn

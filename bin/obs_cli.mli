@@ -8,8 +8,13 @@
     (file exporter plus an armed {!Sf_obs.Flight} recorder), dumps the
     recorder when the body raises or a strategy gives up, finalises
     the trace file, and writes the [--metrics] manifest last — with
-    [jobs], [wall_s], [cpu_s] and [parallel_speedup] (CPU over wall,
-    summed across domains) among the manifest extras. *)
+    [jobs], [wall_s], [cpu_s], [parallel_speedup] (CPU over wall,
+    summed across domains), [rss_peak_bytes] and [telemetry_scrapes]
+    among the manifest extras. With [--telemetry] it also brackets the
+    run with a live {!Sf_obs.Series} sampler and {!Sf_obs.Expose}
+    socket listener, stopped before the manifest is written; with
+    [--trace] the armed flight recorder additionally dumps on
+    [SIGUSR1]. *)
 
 type t = {
   metrics : string option;  (** [--metrics FILE]: write an obs.json manifest *)
@@ -25,6 +30,15 @@ type t = {
           (doc/STORAGE.md); falls back to [SCALEFREE_CORPUS], else no
           cache. When active, the manifest extras record [corpus_dir],
           [corpus_entries] and [corpus_bytes]. *)
+  telemetry : string option;
+      (** [--telemetry PATH]: serve live telemetry on a unix-domain
+          socket at [PATH] while the run is in flight ([sftop PATH]
+          attaches; doc/OBSERVABILITY.md, "Live telemetry"). Falls
+          back to [SCALEFREE_TELEMETRY], else off; skipped with a
+          warning under [--no-obs]. *)
+  telemetry_tick : float;
+      (** [--telemetry-tick SECONDS] (default 0.5): background
+          sampling period of the telemetry time series. *)
 }
 
 val term : t Cmdliner.Term.t

@@ -47,3 +47,15 @@ let dump ?(out = stderr) t =
     (if dropped t > 0 then Printf.sprintf " (%d overwritten)" (dropped t) else "");
   List.iter (fun e -> output_string out (Trace.event_to_line e ^ "\n")) (events t);
   Printf.fprintf out "--- end flight recorder ---\n%!"
+
+(* SIGUSR1 → dump: lets a stuck giant run be diagnosed from outside
+   (kill -USR1 <pid>) without killing it.  Formatting a few hundred
+   lines from a signal handler is not async-signal-safe in the C
+   sense, but OCaml handlers run at safepoints in normal OCaml
+   context, so channel output is fine here. *)
+let install_sigusr1 ?out t =
+  match Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump ?out t)) with
+  | _prev -> true
+  | exception (Invalid_argument _ | Sys_error _) ->
+    (* platform without sigusr1 — the feature degrades to absent *)
+    false

@@ -48,3 +48,11 @@ val disarm : t -> unit
 val dump : ?out:out_channel -> t -> unit
 (** Human-readable dump ({!Trace.event_to_line} per event) to [out]
     (default [stderr]), flushed. *)
+
+val install_sigusr1 : ?out:out_channel -> t -> bool
+(** Install a [SIGUSR1] handler dumping the ring to [out] (default
+    [stderr]), so a stuck run can be inspected with
+    [kill -USR1 <pid>] without killing it. Returns [false] on
+    platforms without the signal. The harnesses install this whenever
+    [--trace] arms a recorder; a later call replaces the earlier
+    handler. *)

@@ -1,13 +1,18 @@
 (* OCaml runtime gauges, refreshed from Gc.quick_stat at span
    boundaries (Span calls sample): cheap enough to ride every phase
-   change, heavy enough not to belong in per-request hot paths. *)
+   change, heavy enough not to belong in per-request hot paths.
+   Process RSS (Resource) is sampled in the same breath, so any run
+   with spans carries memory figures in its manifest. *)
 
 let g_minor = Registry.gauge "gc.minor_collections"
 let g_major = Registry.gauge "gc.major_collections"
 let g_heap_words = Registry.gauge "gc.heap_words"
 let g_minor_words = Registry.gauge "gc.minor_words"
 
-let sample () =
+(* [trace=false] is the telemetry sampler's path: a background thread
+   must not inject counter events into the trace stream at
+   nondeterministic positions (doc/OBSERVABILITY.md) *)
+let sample ?(trace = true) () =
   if Registry.enabled () then begin
     let s = Gc.quick_stat () in
     let minor = float_of_int s.Gc.minor_collections in
@@ -17,9 +22,10 @@ let sample () =
     Registry.set_gauge g_major major;
     Registry.set_gauge g_heap_words heap;
     Registry.set_gauge g_minor_words s.Gc.minor_words;
-    if Trace.active () then begin
+    if trace && Trace.active () then begin
       Trace.counter "gc.minor_collections" minor;
       Trace.counter "gc.major_collections" major;
       Trace.counter "gc.heap_words" heap
-    end
+    end;
+    Resource.sample ~trace ()
   end

@@ -2,14 +2,20 @@
     words and cumulative minor-word allocation as registry gauges
     ([gc.minor_collections], [gc.major_collections], [gc.heap_words],
     [gc.minor_words]), refreshed from [Gc.quick_stat] — no heap walk.
+    Process RSS ({!Resource}) is sampled in the same call, so the two
+    families always move together.
 
     {!Span} calls {!sample} at every span boundary, so any run with
     spans (all harnesses) carries final runtime figures in its
     manifest, and a traced run additionally gets [gc.*] counter-sample
     events rendering as counter tracks in Perfetto, aligned with the
-    span slices that caused the allocation. *)
+    span slices that caused the allocation. The telemetry sampler
+    ({!Series}) calls it every tick with [~trace:false]. *)
 
-val sample : unit -> unit
-(** Refresh the four gauges; additionally emit one trace counter
-    sample per collection/heap gauge when the stream is
-    {!Trace.active}. A no-op when the registry is disabled. *)
+val sample : ?trace:bool -> unit -> unit
+(** Refresh the four gauges (plus the [proc.*] gauges via
+    {!Resource.sample}); with [trace] (default [true]) an active
+    trace stream additionally gets one counter event per
+    collection/heap gauge. Background sampler threads pass
+    [~trace:false] — they must not inject events at nondeterministic
+    stream positions. A no-op when the registry is disabled. *)

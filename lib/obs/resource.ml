@@ -1,0 +1,86 @@
+(* Process-resource attribution: RSS and peak-RSS gauges read from
+   /proc/self/status (VmRSS / VmHWM, Linux).  Sampled alongside
+   Gc_sample at span boundaries and at every telemetry tick, so run
+   manifests carry measured memory figures instead of the hand-noted
+   numbers doc/SCALING.md used to quote.
+
+   On systems without /proc the probe returns nothing: the gauges stay
+   unset and [rss_peak_bytes] falls back to the highest VmRSS this
+   module ever observed (0 if it never saw one). *)
+
+let g_rss = Registry.gauge "proc.rss_bytes"
+let g_rss_peak = Registry.gauge "proc.rss_peak_bytes"
+
+(* highest RSS seen by any probe, shared fallback when the kernel does
+   not report a high-water mark *)
+let observed_peak = ref 0
+
+let status_path = "/proc/self/status"
+
+(* "VmRSS:\t  123456 kB" -> Some 126418944 *)
+let parse_kb_line line prefix =
+  let lp = String.length prefix in
+  if String.length line > lp && String.sub line 0 lp = prefix then begin
+    let b = Buffer.create 12 in
+    String.iter (function '0' .. '9' as c -> Buffer.add_char b c | _ -> ()) line;
+    match int_of_string_opt (Buffer.contents b) with
+    | Some kb -> Some (kb * 1024)
+    | None -> None
+  end
+  else None
+
+let probe () =
+  match open_in status_path with
+  | exception Sys_error _ -> (None, None)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rss = ref None and hwm = ref None in
+        (try
+           while !rss = None || !hwm = None do
+             let line = input_line ic in
+             (match parse_kb_line line "VmRSS:" with Some b -> rss := Some b | None -> ());
+             match parse_kb_line line "VmHWM:" with Some b -> hwm := Some b | None -> ()
+           done
+         with End_of_file -> ());
+        (!rss, !hwm))
+
+let available () = Sys.file_exists status_path
+
+let note_peak = function
+  | Some b when b > !observed_peak -> observed_peak := b
+  | Some _ | None -> ()
+
+(* [trace=false] is the telemetry sampler's path: a background thread
+   must not inject counter events into the trace stream at
+   nondeterministic times (doc/OBSERVABILITY.md, "Live telemetry") *)
+let sample ?(trace = true) () =
+  if Registry.enabled () then begin
+    let rss, hwm = probe () in
+    note_peak rss;
+    note_peak hwm;
+    (match rss with
+    | Some b ->
+      Registry.set_gauge g_rss (float_of_int b);
+      if trace && Trace.active () then Trace.counter "proc.rss_bytes" (float_of_int b)
+    | None -> ());
+    match (hwm, !observed_peak) with
+    | Some b, _ -> Registry.set_gauge g_rss_peak (float_of_int b)
+    | None, p when p > 0 -> Registry.set_gauge g_rss_peak (float_of_int p)
+    | None, _ -> ()
+  end
+
+let rss_bytes () =
+  let rss, hwm = probe () in
+  note_peak rss;
+  note_peak hwm;
+  Option.value ~default:0 rss
+
+(* a fresh probe, not the gauge: manifest extras must be accurate even
+   for a run that never sampled (e.g. one without spans) *)
+let rss_peak_bytes () =
+  let rss, hwm = probe () in
+  note_peak rss;
+  note_peak hwm;
+  max !observed_peak (Option.value ~default:0 hwm)

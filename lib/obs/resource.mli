@@ -1,0 +1,35 @@
+(** Process-resource attribution: resident-set-size gauges read from
+    [/proc/self/status].
+
+    {!sample} refreshes two registry gauges —
+
+    - [proc.rss_bytes]: current resident set (VmRSS),
+    - [proc.rss_peak_bytes]: the kernel high-water mark (VmHWM), or
+      the highest VmRSS this process ever probed where VmHWM is not
+      reported —
+
+    and is called alongside {!Gc_sample.sample} at every span boundary
+    and at every telemetry tick ({!Series.sample}), so manifests and
+    live scrapes carry measured memory figures (the numbers
+    [doc/SCALING.md] quotes). On systems without [/proc] the gauges
+    stay unset and the byte accessors return 0. *)
+
+val available : unit -> bool
+(** Whether [/proc/self/status] exists on this system. *)
+
+val sample : ?trace:bool -> unit -> unit
+(** Refresh the gauges (no-op while the registry is disabled). With
+    [trace] (default [true]) an active trace stream additionally gets
+    a [proc.rss_bytes] counter event; the telemetry sampler passes
+    [~trace:false] because a background thread must not inject events
+    at nondeterministic stream positions. *)
+
+val rss_bytes : unit -> int
+(** Current resident set in bytes, from a fresh probe (0 when
+    unavailable). *)
+
+val rss_peak_bytes : unit -> int
+(** Peak resident set in bytes: VmHWM from a fresh probe, or the
+    highest VmRSS ever observed by this module (0 when unavailable).
+    The [rss_peak_bytes] manifest extra reads this at manifest-write
+    time. *)

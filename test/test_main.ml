@@ -14,5 +14,6 @@ let () =
       ("store", Test_store.suite);
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
+      ("telemetry", Test_telemetry.suite);
       ("perf", Test_perf.suite);
     ]

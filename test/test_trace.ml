@@ -498,9 +498,13 @@ let test_gc_sample_gauges_and_events () =
       !acc
     |> List.sort_uniq compare
   in
-  Alcotest.(check (list string)) "gc counter samples on the stream"
+  (* Resource.sample rides along and adds its RSS counter sample where
+     /proc is available *)
+  let expected =
     [ "gc.heap_words"; "gc.major_collections"; "gc.minor_collections" ]
-    counter_names
+    @ (if Sf_obs.Resource.available () then [ "proc.rss_bytes" ] else [])
+  in
+  Alcotest.(check (list string)) "gc counter samples on the stream" expected counter_names
 
 (* --- manifest gating ----------------------------------------------------- *)
 
