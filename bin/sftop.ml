@@ -211,6 +211,17 @@ let render_dashboard ?prev ~path cur =
 (* modes                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* The server going away mid-watch is the expected way a session ends:
+   the socket is unlinked (ENOENT) or stops being answered
+   (ECONNREFUSED), or drops us mid-scrape (ECONNRESET/EPIPE). Anything
+   else — notably a malformed-snapshot parse failure — is a real error
+   and must not be reported as a clean finish. *)
+let server_gone = function
+  | Unix.Unix_error
+      ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    true
+  | _ -> false
+
 let connect_failed path e =
   Printf.eprintf "sftop: cannot attach to %s: %s\n(is the tool running with --telemetry %s?)\n"
     path (Printexc.to_string e) path;
@@ -234,9 +245,12 @@ let watch path interval =
     let rec loop prev =
       Unix.sleepf interval;
       match take_snap path with
-      | exception _ ->
+      | exception e when server_gone e ->
         Printf.printf "\nsftop: %s closed (run finished); detaching.\n" path;
         0
+      | exception e ->
+        Printf.eprintf "\nsftop: error scraping %s: %s\n" path (Printexc.to_string e);
+        1
       | cur ->
         print_string (clear ^ render_dashboard ~prev ~path cur);
         flush stdout;
@@ -382,4 +396,8 @@ let cmd =
     (Cmd.info "sftop" ~doc)
     [ watch_cmd; once_cmd; record_cmd; plot_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (* a server that shuts down while we write the command line must
+     surface as EPIPE (a clean detach in watch mode), not kill us *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  exit (Cmd.eval' cmd)

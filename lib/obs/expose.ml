@@ -93,6 +93,11 @@ type listener = {
 let path l = l.l_path
 let scrapes l = l.l_scrapes
 
+(* A client that disconnects mid-response (sftop killed between
+   scrapes, a reader closing during a large [series] dump) surfaces
+   here as EPIPE/ECONNRESET — client-gone, not an error.  SIGPIPE is
+   ignored in [serve]; with the default disposition the signal would
+   terminate the monitored process before EPIPE could be raised. *)
 let write_all fd s =
   let bytes = Bytes.of_string s in
   let n = Bytes.length bytes in
@@ -101,6 +106,7 @@ let write_all fd s =
       match Unix.write fd bytes off (n - off) with
       | 0 -> ()
       | written -> go (off + written)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
   in
   go 0
 
@@ -170,7 +176,31 @@ let serve ?(backlog = 8) ~series ~path () =
     invalid_arg
       (Printf.sprintf "Expose.serve: socket path too long (%d chars, limit 103): %s"
          (String.length path) path);
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* Never let a departing client kill the run it monitors: writing a
+     response to a half-closed socket must raise EPIPE (handled in
+     [write_all]), not deliver a fatal SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Reclaim the path only when it is a leftover socket of a dead run;
+     refuse to clobber anything else (--telemetry ./results.json would
+     otherwise delete a data file) and refuse to steal the socket of
+     a process that is still serving it. *)
+  (match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error _ -> false)
+    in
+    if live then
+      invalid_arg
+        (Printf.sprintf "Expose.serve: %s is in use by a live process" path);
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> invalid_arg (Printf.sprintf "Expose.serve: %s exists and is not a socket" path));
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind fd (Unix.ADDR_UNIX path);

@@ -39,11 +39,16 @@ val render_json : scrapes:int -> unit -> string
 type listener
 
 val serve : ?backlog:int -> series:Series.t -> path:string -> unit -> listener
-(** Bind a unix-domain stream socket at [path] (unlinking any stale
-    socket first) and start answering on a background thread.
-    @raise Invalid_argument on an empty path or one at or beyond the
-    [sun_path] limit (104 chars); socket errors propagate as
-    [Unix.Unix_error]. *)
+(** Bind a unix-domain stream socket at [path] and start answering on
+    a background thread. A stale socket left by a dead run is
+    unlinked and reclaimed; anything else at [path] — a regular file,
+    or a socket another live process still answers on — is refused.
+    Also ignores SIGPIPE process-wide, so a client disconnecting
+    mid-response surfaces as EPIPE (treated as client-gone) rather
+    than killing the monitored run.
+    @raise Invalid_argument on an empty path, one at or beyond the
+    [sun_path] limit (104 chars), or an unreclaimable [path]; socket
+    errors propagate as [Unix.Unix_error]. *)
 
 val stop : listener -> unit
 (** Stop the accept loop (prompt: the loop polls at 200 ms), join its

@@ -179,8 +179,10 @@ let sample t =
   end
 
 let names t = locked t (fun () -> List.sort compare t.order)
-let find t name = locked t (fun () -> Hashtbl.find_opt t.rings name)
 
+(* The only ring accessor: runs the reader under the collection lock.
+   Handing a ring out of the lock would let callers race the sampler
+   thread's pushes, so there is deliberately no [find]. *)
 let with_ring t name f =
   locked t (fun () ->
       match Hashtbl.find_opt t.rings name with None -> None | Some r -> Some (f r))

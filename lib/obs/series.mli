@@ -100,12 +100,12 @@ val samples : t -> int
 val names : t -> string list
 (** All series names seen so far, sorted. *)
 
-val find : t -> string -> ring option
-
 val with_ring : t -> string -> (ring -> 'a) -> 'a option
-(** Run a reader under the collection lock — required when the
-    sampler is running, since derived statistics walk ring arrays the
-    sampler mutates. *)
+(** Run a reader under the collection lock; the only way to reach a
+    collection's rings. Derived statistics walk ring arrays the
+    sampler thread mutates, so readers must hold the lock for the
+    whole read — which is why there is no [find] returning a bare
+    [ring]. [f] must not call back into this collection. *)
 
 val to_json : t -> string
 (** The full dump served for the socket [series] command:

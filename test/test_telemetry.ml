@@ -167,9 +167,7 @@ let test_sample_facets () =
   let s = Series.create ~capacity:8 () in
   Series.sample s;
   let last name =
-    match Series.find s name with
-    | Some r -> Option.map snd (Series.ring_last r)
-    | None -> None
+    Option.join (Series.with_ring s name (fun r -> Option.map snd (Series.ring_last r)))
   in
   Alcotest.(check bool) "counter facet" true (last "test.telem.hits" = Some 7.);
   Alcotest.(check bool) "timer count facet" true (last "test.telem.phase_s.count" = Some 1.);
@@ -183,14 +181,14 @@ let test_sample_facets () =
   Alcotest.(check int) "two snapshots" 2 (Series.samples s);
   (* gc/rss gauges ride along every sample *)
   Alcotest.(check bool) "gc gauges sampled" true
-    (Series.find s "gc.minor_collections" <> None)
+    (Series.with_ring s "gc.minor_collections" (fun _ -> ()) <> None)
 
 let test_unset_gauge_skipped () =
   let _g = Registry.gauge "test.telem.never_set" in
   let s = Series.create () in
   Series.sample s;
   Alcotest.(check bool) "unset gauge has no series" true
-    (Series.find s "test.telem.never_set" = None)
+    (Series.with_ring s "test.telem.never_set" (fun _ -> ()) = None)
 
 let test_background_sampler () =
   let s = Series.create ~capacity:64 ~tick_s:0.02 () in
@@ -354,6 +352,59 @@ let test_socket_path_too_long () =
        ignore (Expose.serve ~series ~path ());
        false
      with Invalid_argument _ -> true)
+
+(* serve must not delete arbitrary files handed to it as a socket path
+   (--telemetry ./results.json) *)
+let test_socket_path_not_socket () =
+  let path = Filename.temp_file "sft-notsock" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let series = Series.create () in
+      Alcotest.(check bool) "regular file rejected" true
+        (try
+           ignore (Expose.serve ~series ~path ());
+           false
+         with Invalid_argument _ -> true);
+      Alcotest.(check bool) "file survives the attempt" true (Sys.file_exists path))
+
+(* ... nor steal the socket of another live listener *)
+let test_socket_path_live () =
+  with_listener "live" (fun path _listener ->
+      let series = Series.create () in
+      Alcotest.(check bool) "live socket rejected" true
+        (try
+           ignore (Expose.serve ~series ~path ());
+           false
+         with Invalid_argument _ -> true);
+      Alcotest.(check string) "first listener still answers" "pong\n" (scrape path "ping"))
+
+(* ... while a stale socket left by a dead run is reclaimed *)
+let test_socket_path_stale_reclaimed () =
+  let path = test_sock_path "stale" in
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead (* closed without unlinking: the file remains, unanswered *);
+  let series = Series.create ~capacity:32 () in
+  let listener = Expose.serve ~series ~path () in
+  Fun.protect
+    ~finally:(fun () -> Expose.stop listener)
+    (fun () ->
+      Alcotest.(check string) "reclaimed socket answers" "pong\n" (scrape path "ping"))
+
+(* A client that connects, commands, and vanishes without reading must
+   not hurt the server (SIGPIPE ignored, EPIPE swallowed). *)
+let test_client_disconnect_mid_response () =
+  with_listener "rude" (fun path _listener ->
+      for _ = 1 to 5 do
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        write_all fd "series\n";
+        Unix.close fd
+      done;
+      (* give the listener time to hit the broken pipes *)
+      Thread.delay 0.05;
+      Alcotest.(check string) "server survives rude clients" "pong\n" (scrape path "ping"))
 
 let test_manifest_extras () =
   let extras = Expose.manifest_extras () in
@@ -525,6 +576,10 @@ let suite =
     Alcotest.test_case "histogram json carries p95" `Quick test_histo_json_has_p95;
     Alcotest.test_case "socket protocol end to end" `Quick test_socket_protocol;
     Alcotest.test_case "socket path length guard" `Quick test_socket_path_too_long;
+    Alcotest.test_case "socket path refuses regular file" `Quick test_socket_path_not_socket;
+    Alcotest.test_case "socket path refuses live socket" `Quick test_socket_path_live;
+    Alcotest.test_case "stale socket reclaimed" `Quick test_socket_path_stale_reclaimed;
+    Alcotest.test_case "client disconnect mid-response" `Quick test_client_disconnect_mid_response;
     Alcotest.test_case "manifest extras" `Quick test_manifest_extras;
     Alcotest.test_case "resource probe" `Quick test_resource_probe;
     Alcotest.test_case "concurrent scrape at jobs 4 (golden)" `Slow
