@@ -100,6 +100,20 @@ let term =
         { metrics; no_obs; trace; progress; jobs; corpus; telemetry; telemetry_tick })
     $ metrics $ no_obs $ trace $ progress $ jobs $ corpus $ telemetry $ telemetry_tick)
 
+(* One endpoint syntax for every flag that names a serving socket
+   (sfserve --listen, sfload SERVER), so the tools cannot drift:
+   unix:PATH | tcp:HOST:PORT | bare filesystem path. *)
+let endpoint_conv : Sf_serve.Wire.endpoint Arg.conv =
+  let parse s =
+    match Sf_serve.Wire.endpoint_of_string s with
+    | Ok e -> Ok e
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt e =
+    Format.pp_print_string fmt (Sf_serve.Wire.endpoint_to_string e)
+  in
+  Arg.conv (parse, print)
+
 type session = {
   flight : Sf_obs.Flight.t option;
   sink_ids : Sf_obs.Trace.id list;

@@ -43,6 +43,12 @@ type t = {
 
 val term : t Cmdliner.Term.t
 
+val endpoint_conv : Sf_serve.Wire.endpoint Cmdliner.Arg.conv
+(** One endpoint syntax for every flag that names a serving socket
+    ([sfserve --listen], [sfload SERVER]): [unix:PATH],
+    [tcp:HOST:PORT], or a bare filesystem path (a unix socket, like
+    [--telemetry]). *)
+
 val with_session :
   t ->
   ?extra:(unit -> (string * string) list) ->

@@ -168,23 +168,21 @@ let accept_loop l =
       | client, _ -> ( try handle_client l client with _ -> ()))
   done
 
-let serve ?(backlog = 8) ~series ~path () =
-  if String.length path = 0 then invalid_arg "Expose.serve: empty socket path";
+(* Claiming a unix-domain path safely is the same problem for every
+   long-lived listener in the repo (this telemetry socket, the
+   lib/serve request socket): reclaim the path only when it is a
+   leftover socket of a dead run; refuse to clobber anything else
+   (--telemetry ./results.json would otherwise delete a data file) and
+   refuse to steal the socket of a process that is still serving it. *)
+let claim_unix_path ~who path =
+  if String.length path = 0 then invalid_arg (who ^ ": empty socket path");
   if String.length path >= 104 then
     (* sockaddr_un.sun_path is 108 bytes on Linux; stay clear of it so
        the error is ours, not a truncated-bind surprise *)
     invalid_arg
-      (Printf.sprintf "Expose.serve: socket path too long (%d chars, limit 103): %s"
+      (Printf.sprintf "%s: socket path too long (%d chars, limit 103): %s" who
          (String.length path) path);
-  (* Never let a departing client kill the run it monitors: writing a
-     response to a half-closed socket must raise EPIPE (handled in
-     [write_all]), not deliver a fatal SIGPIPE. *)
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  (* Reclaim the path only when it is a leftover socket of a dead run;
-     refuse to clobber anything else (--telemetry ./results.json would
-     otherwise delete a data file) and refuse to steal the socket of
-     a process that is still serving it. *)
-  (match Unix.lstat path with
+  match Unix.lstat path with
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
   | { Unix.st_kind = Unix.S_SOCK; _ } ->
     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -197,10 +195,16 @@ let serve ?(backlog = 8) ~series ~path () =
           | exception Unix.Unix_error _ -> false)
     in
     if live then
-      invalid_arg
-        (Printf.sprintf "Expose.serve: %s is in use by a live process" path);
+      invalid_arg (Printf.sprintf "%s: %s is in use by a live process" who path);
     (try Unix.unlink path with Unix.Unix_error _ -> ())
-  | _ -> invalid_arg (Printf.sprintf "Expose.serve: %s exists and is not a socket" path));
+  | _ -> invalid_arg (Printf.sprintf "%s: %s exists and is not a socket" who path)
+
+let serve ?(backlog = 8) ~series ~path () =
+  (* Never let a departing client kill the run it monitors: writing a
+     response to a half-closed socket must raise EPIPE (handled in
+     [write_all]), not deliver a fatal SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  claim_unix_path ~who:"Expose.serve" path;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind fd (Unix.ADDR_UNIX path);

@@ -1,0 +1,105 @@
+(** Open-loop load generator against a running {!Server} — the engine
+    behind [bin/sfload].
+
+    With [rate > 0] requests arrive on a Poisson schedule fixed before
+    the run starts, and each latency is measured from the request's
+    {e scheduled} arrival — the open-loop discipline that avoids
+    coordinated omission. With [rate = 0] the generator runs a closed
+    loop windowed by [concurrency], which is how saturation throughput
+    is probed.
+
+    The reply {e payloads} are deterministic: request parameters come
+    from [Rng.split_at] streams off [seed], and the server's replies
+    depend only on the request — so {!summary} (service costs, reply
+    CRC) is byte-identical across runs, connection counts, and server
+    [--jobs]. Wall-clock latencies are inherently nondeterministic and
+    live in {!report} and {!to_bench} instead. *)
+
+type target_spec =
+  | Server_default  (** let the server pick (its [--target], default: vertex n) *)
+  | Fixed_target of int
+  | Uniform_target  (** uniform over [1..n], per-request deterministic *)
+
+type config = {
+  endpoint : Wire.endpoint;
+  requests : int;
+  rate : float;  (** arrivals per second; [0.] = closed loop *)
+  connections : int;
+  concurrency : int;  (** closed-loop in-flight window *)
+  seed : int;
+  mix : (string * float) list;  (** strategy name, positive weight *)
+  target : target_spec;
+  budget : int option;  (** per-request oracle budget; [None] = server default *)
+  stop_at_neighbor : bool;
+  timeout : float;  (** per-read drain timeout, seconds *)
+}
+
+val config :
+  ?rate:float ->
+  ?connections:int ->
+  ?concurrency:int ->
+  ?mix:(string * float) list ->
+  ?target:target_spec ->
+  ?budget:int ->
+  ?stop_at_neighbor:bool ->
+  ?timeout:float ->
+  seed:int ->
+  requests:int ->
+  Wire.endpoint ->
+  config
+(** Validated constructor (defaults: closed loop, 1 connection,
+    window 32, mix [["high-degree"]], server-default target, 30 s
+    timeout). @raise Invalid_argument on any out-of-range field. *)
+
+type outcome = {
+  o_requests : int;
+  o_connections : int;
+  o_rate : float;  (** offered rate; 0 for a closed loop *)
+  o_seed : int;
+  o_n_vertices : int;  (** learned from the server's [Stats] reply *)
+  o_sent : int;
+  o_replies : int;  (** search replies received *)
+  o_errors : int;  (** [Error] responses received *)
+  o_missing : int;  (** requests never answered within the timeout *)
+  o_found : int;  (** succeeded under the configured stop rule *)
+  o_exhausted : int;  (** budget ran out before success *)
+  o_gave_up : int;  (** the strategy itself ran out of moves *)
+  o_mix_counts : (string * int) list;  (** requests per strategy, mix order *)
+  o_costs : int array;  (** oracle requests per answered search, id order *)
+  o_wall_ns : float array;  (** wall latency per answered search, id order *)
+  o_reply_crc : int32;
+      (** CRC-32 over re-encoded search replies in id order, each
+          payload's own checksum tail excluded (a CRC over a
+          self-checksummed block is a content-independent constant). *)
+  o_elapsed_s : float;
+  o_achieved_rate : float;  (** replies per wall second *)
+}
+
+val run : config -> outcome
+(** Connect, learn [n] from [Stats], fire the full request plan, drain
+    replies, fold. Blocking; spawns one receiver thread per
+    connection. Raises [Unix.Unix_error] when the server is
+    unreachable at connect time; a server lost {e mid-run} surfaces as
+    [o_missing > 0], not an exception. *)
+
+val summary : outcome -> string
+(** The deterministic digest: request counts, strategy mix, service
+    costs (total / mean / p50 / p95 / p99 / max oracle requests),
+    mean cost against the √n floor, and the reply CRC. Byte-identical
+    for a fixed (seed, server seed, graph) whenever every request was
+    answered. *)
+
+val report : outcome -> string
+(** The wall-clock side: offered vs achieved rate and latency
+    p50/p95/p99 — honest numbers, different every run. *)
+
+val to_bench :
+  date:string -> commit:string -> mode:string -> outcome -> Sf_perf.Bench_file.t
+(** A ["scalefree.bench/1"] document with the raw latency samples and
+    the raw service-cost samples ([jobs] records the connection
+    count). @raise Invalid_argument when no replies were received. *)
+
+val record_metrics : outcome -> unit
+(** Fold the outcome into the process-global registry:
+    [load.sent]/[load.replies]/[load.errors] counters and the
+    [load.latency_us] histogram. *)

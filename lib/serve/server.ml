@@ -1,0 +1,435 @@
+(* The search-query daemon behind bin/sfserve: a select-driven event
+   loop accepting framed requests (Wire) on unix-domain and TCP
+   sockets, batching every search request in flight across the
+   lib/parallel domain pool, and answering with replies that are a
+   pure function of (server seed, request) — request [id] selects the
+   split stream [Rng.split_at master id], so a reply never depends on
+   scheduling, batching, connection interleaving or the --jobs count
+   (doc/SERVING.md, "Determinism").
+
+   Connection robustness mirrors the telemetry listener (Expose): a
+   client disconnecting mid-frame just drops its connection, a
+   well-framed garbage payload gets an error reply and the connection
+   survives, an oversized or undersized frame length poisons the
+   stream and closes that one connection after an error reply — the
+   server outlives all of it. *)
+
+module Rng = Sf_prng.Rng
+module Ugraph = Sf_graph.Ugraph
+module Registry = Sf_obs.Registry
+module Counter = Sf_obs.Counter
+module Histo = Sf_obs.Histo
+module Timer = Sf_obs.Timer
+module Pool = Sf_parallel.Pool
+module Oracle = Sf_search.Oracle
+module Runner = Sf_search.Runner
+module Strategy = Sf_search.Strategy
+module E = Sf_store.Codec_error
+
+let c_requests = Registry.counter "serve.requests"
+let c_replies = Registry.counter "serve.replies"
+let c_errors = Registry.counter "serve.protocol_errors"
+let c_rejected = Registry.counter "serve.rejected"
+let c_connections = Registry.counter "serve.connections"
+let c_batches = Registry.counter "serve.batches"
+let c_bytes_in = Registry.counter "serve.bytes_in"
+let c_bytes_out = Registry.counter "serve.bytes_out"
+let h_batch = Registry.histo "serve.batch_size"
+let h_latency = Registry.histo "serve.latency_us"
+let t_batch = Registry.timer "serve.batch_s"
+let g_conns = Registry.gauge "serve.open_connections"
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and state                                             *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  graph : Ugraph.t;
+  seed : int;
+  default_target : int;
+  default_budget : int option;
+  max_payload : int;
+  jobs : int option;
+}
+
+let config ?default_target ?default_budget ?(max_payload = Wire.max_payload_default)
+    ?jobs ~seed graph =
+  let n = Ugraph.n_vertices graph in
+  if n < 1 then invalid_arg "Server.config: empty graph";
+  let default_target =
+    match default_target with
+    | Some t ->
+      if t < 1 || t > n then
+        invalid_arg (Printf.sprintf "Server.config: default target %d outside 1..%d" t n);
+      t
+    | None -> n
+  in
+  (match default_budget with
+  | Some b when b < 1 -> invalid_arg "Server.config: default budget must be >= 1"
+  | Some _ | None -> ());
+  { graph; seed; default_target; default_budget; max_payload; jobs }
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_in : Buffer.t;
+  mutable c_out : string;
+  mutable c_out_off : int;
+  mutable c_alive : bool;
+  mutable c_close_after_flush : bool;
+}
+
+type t = {
+  cfg : config;
+  listeners : (Unix.file_descr * Wire.endpoint) list;
+  pool : Pool.t;
+  master : Rng.t; (* never advanced: requests draw split_at children *)
+  strategies : (string * Strategy.t) list;
+  mutable conns : conn list;
+  mutable running : bool;
+  mutable draining : bool; (* shutdown requested; exit once flushed *)
+  mutable served : int;
+  mutable errors : int;
+  mutable accepted : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Listening sockets                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bind_endpoint ~backlog ep =
+  let fd =
+    match ep with
+    | Wire.Unix_path path ->
+      Sf_obs.Expose.claim_unix_path ~who:"Serve.listen" path;
+      Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    | Wire.Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+  in
+  (try
+     (match ep with
+     | Wire.Unix_path path -> Unix.bind fd (Unix.ADDR_UNIX path)
+     | Wire.Tcp (host, port) ->
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       let addr =
+         if host = "*" then Unix.inet_addr_any
+         else
+           try Unix.inet_addr_of_string host
+           with Failure _ -> (
+             match Unix.gethostbyname host with
+             | { Unix.h_addr_list = [||]; _ } -> failwith ("no address for host " ^ host)
+             | h -> h.Unix.h_addr_list.(0))
+       in
+       Unix.bind fd (Unix.ADDR_INET (addr, port)));
+     Unix.listen fd backlog;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (fd, ep)
+
+let strategy_table () =
+  let all =
+    Sf_search.Strategies.weak_portfolio ()
+    @ Sf_search.Strategies.strong_portfolio ()
+    @ [ Sf_search.Strategies.random_edge ~skip_known:false ]
+  in
+  List.map (fun s -> (s.Strategy.name, s)) all
+
+let strategy_names t = List.map fst t.strategies
+
+let create ?(backlog = 64) cfg ~listen =
+  if listen = [] then invalid_arg "Server.create: no listen endpoints";
+  let listeners = List.map (bind_endpoint ~backlog) listen in
+  (* a stalled client must see EPIPE on our writes, not kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  {
+    cfg;
+    listeners;
+    pool = Pool.create ?jobs:cfg.jobs ();
+    master = Rng.of_seed cfg.seed;
+    strategies = strategy_table ();
+    conns = [];
+    running = true;
+    draining = false;
+    served = 0;
+    errors = 0;
+    accepted = 0;
+  }
+
+let endpoints t = List.map snd t.listeners
+let served t = t.served
+let protocol_errors t = t.errors
+let connections_accepted t = t.accepted
+let stop t = t.running <- false
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection I/O                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let close_conn c =
+  if c.c_alive then begin
+    c.c_alive <- false;
+    (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+  end
+
+let enqueue c resp =
+  let bytes = Wire.frame (Wire.encode_response resp) in
+  c.c_out <-
+    (if c.c_out_off = 0 then c.c_out
+     else String.sub c.c_out c.c_out_off (String.length c.c_out - c.c_out_off))
+    ^ bytes;
+  c.c_out_off <- 0;
+  Counter.incr c_replies
+
+let flush_conn c =
+  if c.c_alive && String.length c.c_out > c.c_out_off then begin
+    match
+      Unix.write_substring c.c_fd c.c_out c.c_out_off (String.length c.c_out - c.c_out_off)
+    with
+    | n ->
+      Counter.add c_bytes_out n;
+      c.c_out_off <- c.c_out_off + n;
+      if c.c_out_off = String.length c.c_out then begin
+        c.c_out <- "";
+        c.c_out_off <- 0;
+        if c.c_close_after_flush then close_conn c
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_conn c
+  end
+
+let pending_out c = c.c_alive && String.length c.c_out > c.c_out_off
+
+(* EOF or a connection reset mid-frame is the client's prerogative —
+   drop the connection, keep serving everyone else *)
+let read_conn c =
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+  | 0 -> close_conn c
+  | n ->
+    Buffer.add_subbytes c.c_in chunk 0 n;
+    Counter.add c_bytes_in n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn c
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stats_reply t id =
+  Wire.Stats_reply
+    {
+      Wire.ss_id = id;
+      ss_n_vertices = Ugraph.n_vertices t.cfg.graph;
+      ss_n_edges = Ugraph.n_edges t.cfg.graph;
+      ss_served = t.served;
+      ss_errors = t.errors;
+      ss_connections = t.accepted;
+    }
+
+(* One search request, anywhere in the pool: the reply depends only on
+   (cfg, request) — the rng is the request id's split stream off the
+   never-advanced master, so any batching of concurrent requests
+   yields the same bytes. *)
+let handle_search t (s : Wire.search) : Wire.response =
+  match List.assoc_opt s.strategy t.strategies with
+  | None ->
+    Counter.incr c_rejected;
+    Wire.Error
+      {
+        err_id = s.id;
+        code = Wire.Unknown_strategy;
+        message =
+          Printf.sprintf "unknown strategy %S (known: %s)" s.strategy
+            (String.concat ", " (strategy_names t));
+      }
+  | Some strategy -> (
+    let n = Ugraph.n_vertices t.cfg.graph in
+    let target = Option.value ~default:t.cfg.default_target s.target in
+    let source = Option.value ~default:(if target = 1 then 2 else 1) s.source in
+    let budget =
+      match s.budget with Some _ as b -> b | None -> t.cfg.default_budget
+    in
+    if target < 1 || target > n || source < 1 || source > n then begin
+      Counter.incr c_rejected;
+      Wire.Error
+        {
+          err_id = s.id;
+          code = Wire.Bad_vertex;
+          message = Printf.sprintf "source %d / target %d outside 1..%d" source target n;
+        }
+    end
+    else
+      match budget with
+      | Some b when b < 1 ->
+        Counter.incr c_rejected;
+        Wire.Error
+          {
+            err_id = s.id;
+            code = Wire.Bad_request;
+            message = Printf.sprintf "budget %d must be >= 1" b;
+          }
+      | _ ->
+        let t0 = Timer.now_s () in
+        let rng = Rng.split_at t.master s.id in
+        let stop_at = if s.stop_at_neighbor then Runner.At_neighbor else Runner.At_target in
+        let oracle =
+          Oracle.start ~rng strategy.Strategy.model t.cfg.graph ~source ~target
+        in
+        let outcome = Runner.run ?budget ~stop_at ~rng strategy oracle in
+        let path_len =
+          (* the paper's deliverable is a certified path, not a name:
+             report the length of the discovery-tree path when the
+             target was actually reached *)
+          if Oracle.target_found oracle then
+            List.length (Oracle.discovery_path oracle target) - 1
+          else 0
+        in
+        Counter.incr c_requests;
+        Histo.observe h_latency ((Timer.now_s () -. t0) *. 1e6);
+        Wire.Search_reply
+          {
+            Wire.sr_id = s.id;
+            sr_total_requests = outcome.Runner.total_requests;
+            sr_to_target = outcome.Runner.to_target;
+            sr_to_neighbor = outcome.Runner.to_neighbor;
+            sr_discovered = outcome.Runner.discovered;
+            sr_gave_up = outcome.Runner.gave_up;
+            sr_path_len = path_len;
+          })
+
+(* Drain every complete frame out of a connection's receive buffer.
+   Searches are collected for the batch; everything else is answered
+   inline. *)
+let parse_conn t c acc =
+  let data = Buffer.contents c.c_in in
+  let len = String.length data in
+  let rec go pos acc =
+    if not c.c_alive then (pos, acc)
+    else
+      match Wire.pop ~max_payload:t.cfg.max_payload data ~pos with
+      | `Need_more -> (pos, acc)
+      | `Bad msg ->
+        (* the length prefix itself is garbage: no resynchronisation is
+           possible, so answer once and drop the connection *)
+        t.errors <- t.errors + 1;
+        Counter.incr c_errors;
+        enqueue c (Wire.Error { err_id = 0; code = Wire.Bad_frame; message = msg });
+        c.c_close_after_flush <- true;
+        (len, acc)
+      | `Frame (payload, next) -> (
+        match Wire.decode_request payload with
+        | exception E.Error e ->
+          (* framing is intact, the payload is mutilated: report and
+             keep the connection *)
+          t.errors <- t.errors + 1;
+          Counter.incr c_errors;
+          enqueue c
+            (Wire.Error { err_id = 0; code = Wire.Bad_frame; message = E.to_string e });
+          go next acc
+        | Wire.Search s -> go next ((c, s) :: acc)
+        | Wire.Ping id ->
+          enqueue c (Wire.Pong id);
+          go next acc
+        | Wire.Stats id ->
+          enqueue c (stats_reply t id);
+          go next acc
+        | Wire.Shutdown id ->
+          enqueue c (Wire.Shutdown_ack id);
+          t.draining <- true;
+          go next acc)
+  in
+  let consumed, acc = go 0 acc in
+  if consumed > 0 then begin
+    let rest = String.sub data consumed (len - consumed) in
+    Buffer.clear c.c_in;
+    Buffer.add_string c.c_in rest
+  end;
+  acc
+
+(* The batch: every search currently in flight, across all
+   connections, dealt to the domain pool. Pool.mapi brackets each task
+   in a Shard capture and merges in index order, so metric totals are
+   deterministic too (doc/PARALLELISM.md). *)
+let run_batch t batch =
+  let batch = Array.of_list (List.rev batch) in
+  let k = Array.length batch in
+  if k > 0 then begin
+    Counter.incr c_batches;
+    Histo.observe_int h_batch k;
+    let replies =
+      Timer.time t_batch (fun () -> Pool.mapi t.pool k (fun i -> handle_search t (snd batch.(i))))
+    in
+    t.served <- t.served + k;
+    Array.iteri (fun i reply -> enqueue (fst batch.(i)) reply) replies
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The event loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let accept_ready t lfd =
+  let rec go () =
+    match Unix.accept lfd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      t.accepted <- t.accepted + 1;
+      Counter.incr c_connections;
+      t.conns <-
+        {
+          c_fd = fd;
+          c_in = Buffer.create 4096;
+          c_out = "";
+          c_out_off = 0;
+          c_alive = true;
+          c_close_after_flush = false;
+        }
+        :: t.conns;
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let step t ~timeout =
+  let listener_fds = List.map fst t.listeners in
+  let conn_fds = List.filter_map (fun c -> if c.c_alive then Some c.c_fd else None) t.conns in
+  let wfds = List.filter_map (fun c -> if pending_out c then Some c.c_fd else None) t.conns in
+  match Unix.select (listener_fds @ conn_fds) wfds [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, writable, _ ->
+    List.iter (fun lfd -> if List.mem lfd readable then accept_ready t lfd) listener_fds;
+    List.iter
+      (fun c -> if c.c_alive && List.mem c.c_fd readable then read_conn c)
+      t.conns;
+    let batch = List.fold_left (fun acc c -> if c.c_alive then parse_conn t c acc else acc) [] t.conns in
+    run_batch t batch;
+    ignore writable;
+    (* writes are nonblocking and EAGAIN-tolerant, so just try every
+       connection with output pending — including output the batch
+       created after the select returned *)
+    List.iter (fun c -> if pending_out c then flush_conn c) t.conns;
+    Registry.set_gauge g_conns
+      (float_of_int (List.length (List.filter (fun c -> c.c_alive) t.conns)));
+    t.conns <- List.filter (fun c -> c.c_alive) t.conns;
+    if t.draining && not (List.exists pending_out t.conns) then t.running <- false
+
+let cleanup t =
+  List.iter (fun c -> close_conn c) t.conns;
+  t.conns <- [];
+  List.iter
+    (fun (fd, ep) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match ep with
+      | Wire.Unix_path path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Wire.Tcp _ -> ())
+    t.listeners;
+  Pool.shutdown t.pool
+
+let run ?(tick = 0.05) t =
+  Fun.protect
+    ~finally:(fun () -> cleanup t)
+    (fun () ->
+      while t.running do
+        step t ~timeout:tick
+      done)

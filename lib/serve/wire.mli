@@ -1,0 +1,115 @@
+(** The sfserve wire protocol (version 1) — length-prefixed frames
+    carrying versioned, CRC-checked request/response payloads.
+
+    A frame is a 4-byte little-endian payload length followed by the
+    payload; a payload is [version byte, kind byte, varint body,
+    CRC-32 (little-endian, over everything before it)] — the same
+    strict-decode discipline as the binary graph store
+    ({!Sf_store.Codec}): every mutilated input raises
+    {!Sf_store.Codec_error.Error}, nothing is repaired. The full
+    grammar, with the determinism contract it carries, is documented
+    in [doc/SERVING.md].
+
+    Encoding is canonical: a message has exactly one wire image, so a
+    CRC-32 over re-encoded replies is a digest of the server's actual
+    bytes — what the determinism tests and [sfload]'s reply digest
+    rely on. *)
+
+val version : int
+(** [1]. *)
+
+val max_payload_default : int
+(** Default per-frame payload cap (1 MiB): anything claiming to be
+    larger is rejected at the framing layer before allocation. *)
+
+val frame_header_bytes : int
+(** [4]. *)
+
+(** {1 Endpoints}
+
+    One syntax shared by every flag that names a serving socket
+    ([sfserve --listen], [sfload SERVER]): [unix:PATH], [tcp:HOST:PORT],
+    or a bare filesystem path (a unix socket, as with [--telemetry]). *)
+
+type endpoint = Unix_path of string | Tcp of string * int
+
+val endpoint_of_string : string -> (endpoint, string) result
+val endpoint_to_string : endpoint -> string
+(** Round-trips through {!endpoint_of_string}; bare paths render as
+    [unix:PATH]. *)
+
+(** {1 Messages} *)
+
+type search = {
+  id : int;  (** client-chosen; replies are matched and made deterministic by it *)
+  strategy : string;  (** portfolio name, e.g. ["high-degree"] *)
+  source : int option;  (** default: vertex 1 (2 when the target is 1) *)
+  target : int option;  (** default: the server's [--target] *)
+  budget : int option;  (** request budget; default: the server's *)
+  stop_at_neighbor : bool;  (** the paper's lenient stopping rule *)
+}
+
+type request = Search of search | Ping of int | Stats of int | Shutdown of int
+
+type search_reply = {
+  sr_id : int;
+  sr_total_requests : int;  (** oracle requests paid — the paper's cost *)
+  sr_to_target : int option;
+  sr_to_neighbor : int option;
+  sr_discovered : int;
+  sr_gave_up : bool;
+  sr_path_len : int;  (** edges in the certified source→target path; 0 unless found *)
+}
+
+type server_stats = {
+  ss_id : int;
+  ss_n_vertices : int;
+  ss_n_edges : int;
+  ss_served : int;  (** searches answered since this server started *)
+  ss_errors : int;  (** protocol errors seen since this server started *)
+  ss_connections : int;  (** connections accepted since this server started *)
+}
+
+type error_code = Bad_frame | Unknown_strategy | Bad_vertex | Bad_request
+
+type response =
+  | Search_reply of search_reply
+  | Pong of int
+  | Stats_reply of server_stats
+  | Shutdown_ack of int
+  | Error of { err_id : int; code : error_code; message : string }
+
+val request_id : request -> int
+val response_id : response -> int
+val error_code_to_string : error_code -> string
+
+(** {1 Payload codec} *)
+
+val encode_request : request -> string
+(** The payload bytes (no frame header). Canonical and deterministic. *)
+
+val encode_response : response -> string
+
+val decode_request : string -> request
+(** @raise Sf_store.Codec_error.Error on any malformed payload:
+    truncation, version or kind mismatch, CRC failure, unknown flag
+    bits, trailing bytes. *)
+
+val decode_response : string -> response
+
+(** {1 Framing} *)
+
+val frame : string -> string
+(** Prefix a payload with its 4-byte little-endian length. *)
+
+val pop :
+  ?max_payload:int ->
+  string ->
+  pos:int ->
+  [ `Frame of string * int | `Need_more | `Bad of string ]
+(** Incremental frame extraction from a receive buffer: [`Frame
+    (payload, next_pos)] when a whole frame is available at [pos],
+    [`Need_more] when bytes are missing, [`Bad msg] when the declared
+    length is below the minimum payload size or above [max_payload] —
+    the stream cannot be resynchronised after that, so the connection
+    must be dropped. *)

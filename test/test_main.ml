@@ -15,5 +15,6 @@ let () =
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
+      ("serve", Test_serve.suite);
       ("perf", Test_perf.suite);
     ]
