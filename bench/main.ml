@@ -21,6 +21,10 @@
      main.exe --progress      live per-experiment progress on stderr
      main.exe --jobs N        worker domains for the experiment fan-out
                               and the trial grids inside experiments
+     main.exe --workers N     worker processes for the experiment
+                              fan-out (the fabric swarm) instead of
+                              the --jobs domain pool; same tables,
+                              same shape checks
      main.exe --corpus DIR    content-addressed graph corpus cache
                               (default: SCALEFREE_CORPUS if set)
      main.exe --baseline F    metric-name baseline for --quick
@@ -42,6 +46,8 @@ type options = {
   trace : string option;
   progress : bool;
   jobs : int;
+  workers : int;
+  worker_connect : string option;
   corpus : string option;
   baseline : string;
   telemetry : string option;
@@ -59,6 +65,8 @@ let parse_args () =
   and trace = ref ""
   and progress = ref false
   and jobs = ref 0
+  and workers = ref 0
+  and worker_connect = ref ""
   and corpus = ref ""
   and baseline = ref "bench/baseline_quick.json"
   and telemetry = ref ""
@@ -82,6 +90,15 @@ let parse_args () =
         Arg.Set_int jobs,
         "worker domains for the parallel sections (default: SCALEFREE_JOBS or the \
          recommended domain count, capped at 8); output is identical at any value" );
+      ( "--workers",
+        Arg.Set_int workers,
+        "worker processes for the experiment fan-out (the fabric swarm, \
+         doc/FABRIC.md) instead of the --jobs domain pool; tables, shape checks \
+         and counter totals are identical either way" );
+      ( "--worker-connect",
+        Arg.Set_string worker_connect,
+        "internal: run as an experiment worker attached to the coordinator socket \
+         at PATH (spawned by --workers)" );
       ( "--corpus",
         Arg.Set_string corpus,
         "content-addressed graph corpus cache directory (doc/STORAGE.md; default: \
@@ -116,6 +133,8 @@ let parse_args () =
     trace = (if !trace = "" then None else Some !trace);
     progress = !progress;
     jobs = !jobs;
+    workers = !workers;
+    worker_connect = (if !worker_connect = "" then None else Some !worker_connect);
     corpus = (if !corpus = "" then None else Some !corpus);
     baseline = !baseline;
     telemetry =
@@ -131,7 +150,7 @@ let parse_args () =
 (* Part 1: experiment tables                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments ~quick ~seed ~progress ids =
+let run_experiments ~quick ~seed ~progress ~workers ~corpus ids =
   let selected =
     match ids with
     | None -> Sf_experiments.Registry.all
@@ -152,15 +171,40 @@ let run_experiments ~quick ~seed ~progress ids =
       Some (Sf_obs.Progress.create ~label:"experiments" ~total:(List.length selected) ())
     else None
   in
-  (* the fan-out: one pool task per experiment, results printed in
-     registry order after the join — tables and checks are independent
-     of the job count; only the [%.1fs] stamps (that experiment's own
-     wall time, measured inside the task) vary run to run *)
-  let results = Sf_experiments.Registry.run_all ~quick ~seed selected in
+  (* the fan-out: one pool task per experiment (or, with --workers, one
+     fabric swarm job per experiment in its own process), results
+     printed in registry order after the join — tables and checks are
+     independent of the job and worker counts; only the [%.1fs] stamps
+     (that experiment's own wall time, measured inside the task) vary
+     run to run, and the distributed path omits them *)
+  let results =
+    if workers > 0 && List.length selected > 1 then begin
+      let sock_path =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "sfbench-grid-%d.sock" (Unix.getpid ()))
+      in
+      let argv =
+        [ Sys.executable_name; "--worker-connect"; sock_path; "--seed"; string_of_int seed ]
+        @ (if quick then [ "--quick" ] else [])
+        @ (match corpus with Some d -> [ "--corpus"; d ] | None -> [])
+      in
+      let spawn () = Sf_fabric.Swarm.spawn_exec (Array.of_list argv) in
+      List.map
+        (fun (e, r) -> (e, r, None))
+        (Sf_experiments.Distrib.run_all_processes ~sock_path ~workers ~spawn selected)
+    end
+    else
+      List.map (fun (e, r, dt) -> (e, r, Some dt)) (Sf_experiments.Registry.run_all ~quick ~seed selected)
+  in
   List.iter
     (fun ((_ : Sf_experiments.Registry.entry), result, dt) ->
-      Printf.printf "\n######## %s - %s  [%.1fs]\n\n" result.Sf_experiments.Exp.id
-        result.Sf_experiments.Exp.title dt;
+      (match dt with
+      | Some dt ->
+        Printf.printf "\n######## %s - %s  [%.1fs]\n\n" result.Sf_experiments.Exp.id
+          result.Sf_experiments.Exp.title dt
+      | None ->
+        Printf.printf "\n######## %s - %s\n\n" result.Sf_experiments.Exp.id
+          result.Sf_experiments.Exp.title);
       print_string result.Sf_experiments.Exp.output;
       print_newline ();
       List.iter
@@ -354,6 +398,17 @@ let () =
   (* all phase timings (Timer, Span, manifest wall_s) read bechamel's
      CLOCK_MONOTONIC stub instead of Unix.gettimeofday from here on *)
   Sf_obs.Timer.set_clock (fun () -> Int64.to_float (Monotonic_clock.now ()) /. 1e9);
+  (match opts.worker_connect with
+  | Some connect ->
+    (* an experiment worker spawned by --workers: serve assignments and
+       exit without touching the harness machinery *)
+    Sf_store.Corpus.configure ?dir:opts.corpus ();
+    (match Sf_experiments.Distrib.worker_main ~connect ~quick:opts.quick ~seed:opts.seed with
+    | () -> exit 0
+    | exception e ->
+      Printf.eprintf "bench worker: %s\n" (Printexc.to_string e);
+      exit 1)
+  | None -> ());
   let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
   if opts.jobs <> 0 then Sf_parallel.Pool.set_default_jobs opts.jobs;
   (* before any domains spawn: the corpus handle is a process global *)
@@ -385,7 +440,7 @@ let () =
      if opts.experiments then
        Sf_obs.Span.with_span "experiments" (fun () ->
            run_experiments ~quick:opts.quick ~seed:opts.seed ~progress:opts.progress
-             opts.ids);
+             ~workers:opts.workers ~corpus:opts.corpus opts.ids);
      if opts.micro then
        Sf_obs.Span.with_span "microbench" (fun () -> run_microbenchmarks ~quick:opts.quick)
    with exn ->

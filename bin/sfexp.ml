@@ -25,7 +25,23 @@ let print_result (result : Sf_experiments.Exp.result) =
     result.Sf_experiments.Exp.checks;
   Sf_experiments.Exp.all_pass result
 
-let run_experiment id quick seed (obs : Obs_cli.t) =
+(* --workers > 1: fan the experiments out across worker processes on
+   the fabric swarm instead of the --jobs domain pool; same results,
+   same output bytes, same counter totals (doc/PARALLELISM.md) *)
+let run_distributed ~workers ~quick ~seed (obs : Obs_cli.t) entries =
+  let sock_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sfexp-%d.sock" (Unix.getpid ()))
+  in
+  let argv =
+    [ Sys.executable_name; "worker"; "--connect"; sock_path; "--seed"; string_of_int seed ]
+    @ (if quick then [ "--quick" ] else [])
+    @ (match obs.Obs_cli.corpus with Some d -> [ "--corpus"; d ] | None -> [])
+  in
+  let spawn () = Sf_fabric.Swarm.spawn_exec (Array.of_list argv) in
+  Sf_experiments.Distrib.run_all_processes ~sock_path ~workers ~spawn entries
+
+let run_experiment id quick seed workers (obs : Obs_cli.t) =
   Obs_cli.with_session obs ~tool:"sfexp"
     ~extra:(fun () -> [ ("experiment", Sf_obs.Export.json_string id) ])
     ~seed
@@ -54,6 +70,9 @@ let run_experiment id quick seed (obs : Obs_cli.t) =
         (* one experiment runs on the calling domain, so its exp.<id>
            span still lands in the manifest's span forest *)
         [ (e, e.Sf_experiments.Registry.run ~quick ~seed) ]
+      | entries when workers > 0 ->
+        (* worker processes over the fabric swarm *)
+        run_distributed ~workers ~quick ~seed obs entries
       | entries ->
         (* 'all' fans out across the --jobs pool; output order and
            bytes are independent of the job count *)
@@ -78,10 +97,37 @@ let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:
 let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes")
 let seed_arg = Arg.(value & opt int 20070615 & info [ "seed" ] ~doc:"Master seed")
 
+let workers_arg =
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+         ~doc:"Run 'all' on N worker processes (the fabric swarm) instead of the --jobs \
+               domain pool. Same results, same bytes.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"run an experiment by id")
-    Term.(const run_experiment $ id_arg $ quick_arg $ seed_arg $ Obs_cli.term)
+    Term.(const run_experiment $ id_arg $ quick_arg $ seed_arg $ workers_arg $ Obs_cli.term)
+
+(* internal: one experiment worker process, spawned by run --workers *)
+let worker_main connect quick seed corpus =
+  Sf_store.Corpus.configure ?dir:corpus ();
+  match Sf_experiments.Distrib.worker_main ~connect ~quick ~seed with
+  | () -> 0
+  | exception e ->
+    Printf.eprintf "sfexp worker: %s\n" (Printexc.to_string e);
+    1
+
+let worker_cmd =
+  let connect_arg =
+    Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"PATH"
+           ~doc:"Coordinator control socket.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Content-addressed graph corpus cache.")
+  in
+  Cmd.v
+    (Cmd.info "worker" ~doc:"internal: an experiment worker process (spawned by run --workers)")
+    Term.(const worker_main $ connect_arg $ quick_arg $ seed_arg $ corpus_arg)
 
 let list_cmd = Cmd.v (Cmd.info "list" ~doc:"list experiment ids") Term.(const list_experiments $ const ())
 
@@ -104,6 +150,6 @@ let verify_cmd =
 
 let cmd =
   let doc = "reproduce the paper's experiment tables" in
-  Cmd.group (Cmd.info "sfexp" ~doc) [ list_cmd; run_cmd; verify_cmd ]
+  Cmd.group (Cmd.info "sfexp" ~doc) [ list_cmd; run_cmd; verify_cmd; worker_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -72,13 +72,57 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
+(* --ramp: geometric rate escalation until p99 blows the threshold,
+   then bisect — one capacity number out (doc/SERVING.md) *)
+let run_ramp ~server ~requests ~connections ~concurrency ~mix ~target ~budget
+    ~stop_at_neighbor ~seed ~timeout ~ramp_start ~ramp_factor ~ramp_p99_ms ~ramp_steps
+    ~ramp_bisect =
+  let probe ~rate =
+    let cfg =
+      Sf_serve.Load.config ~rate ~connections ~concurrency ~mix ~target ?budget
+        ~stop_at_neighbor ~timeout ~seed ~requests server
+    in
+    let o = Sf_serve.Load.run cfg in
+    Sf_serve.Load.record_metrics o;
+    o
+  in
+  let r =
+    Sf_serve.Load.ramp ~start:ramp_start ~factor:ramp_factor ~p99_ms:ramp_p99_ms
+      ~max_steps:ramp_steps ~bisect:ramp_bisect probe
+  in
+  print_string (Sf_serve.Load.ramp_report r);
+  match r.Sf_serve.Load.r_capacity with
+  | Some c ->
+    ( 0,
+      [
+        ("ramp_capacity_rps", Printf.sprintf "%.1f" c);
+        ("ramp_probes", string_of_int (List.length r.Sf_serve.Load.r_steps));
+      ] )
+  | None -> (1, [ ("ramp_probes", string_of_int (List.length r.Sf_serve.Load.r_steps)) ])
+
 let run server requests rate connections concurrency mix target budget
-    stop_at_neighbor seed summary_file bench_file stop_server timeout
-    (obs : Obs_cli.t) =
+    stop_at_neighbor seed summary_file bench_file stop_server timeout ramp
+    ramp_start ramp_factor ramp_p99_ms ramp_steps ramp_bisect (obs : Obs_cli.t) =
   let extra = ref [] in
   Obs_cli.with_session obs ~extra:(fun () -> !extra) ~tool:"sfload" ~seed
-    ~mode:"load"
+    ~mode:(if ramp then "ramp" else "load")
   @@ fun () ->
+  if ramp then begin
+    let code, kv =
+      run_ramp ~server ~requests ~connections ~concurrency ~mix ~target ~budget
+        ~stop_at_neighbor ~seed ~timeout ~ramp_start ~ramp_factor ~ramp_p99_ms
+        ~ramp_steps ~ramp_bisect
+    in
+    extra := List.map (fun (k, v) -> (k, v)) kv;
+    if stop_server then begin
+      let c = Sf_serve.Client.connect server in
+      Fun.protect
+        ~finally:(fun () -> Sf_serve.Client.close c)
+        (fun () -> ignore (Sf_serve.Client.call c (Sf_serve.Wire.Shutdown 0)))
+    end;
+    code
+  end
+  else begin
   let cfg =
     Sf_serve.Load.config ~rate ~connections ~concurrency ~mix ~target ?budget
       ~stop_at_neighbor ~timeout ~seed ~requests server
@@ -119,6 +163,7 @@ let run server requests rate connections concurrency mix target budget
           (Printf.sprintf "0x%08lx" o.Sf_serve.Load.o_reply_crc) );
     ];
   if o.Sf_serve.Load.o_errors > 0 || o.Sf_serve.Load.o_missing > 0 then 1 else 0
+  end
 
 let server_arg =
   Arg.(
@@ -192,6 +237,31 @@ let stop_server_arg =
 let timeout_arg =
   Arg.(value & opt float 30. & info [ "timeout" ] ~doc:"Per-read drain timeout in seconds")
 
+let ramp_arg =
+  Arg.(
+    value & flag
+    & info [ "ramp" ]
+        ~doc:
+          "Capacity ramp: escalate the open-loop rate geometrically until p99 \
+           blows --ramp-p99-ms, bisect, and print one sustainable-rate \
+           estimate. --requests is the probe length per step; --rate is \
+           ignored. Exit 1 when no rate holds.")
+
+let ramp_start_arg =
+  Arg.(value & opt float 50. & info [ "ramp-start" ] ~doc:"First offered rate (req/s)")
+
+let ramp_factor_arg =
+  Arg.(value & opt float 2. & info [ "ramp-factor" ] ~doc:"Rate multiplier per climb step")
+
+let ramp_p99_arg =
+  Arg.(value & opt float 50. & info [ "ramp-p99-ms" ] ~doc:"p99 latency threshold (milliseconds)")
+
+let ramp_steps_arg =
+  Arg.(value & opt int 10 & info [ "ramp-steps" ] ~doc:"Maximum climb steps")
+
+let ramp_bisect_arg =
+  Arg.(value & opt int 2 & info [ "ramp-bisect" ] ~doc:"Geometric-mean bisection rounds after the bracket")
+
 let cmd =
   let doc = "drive open-loop search load against a running sfserve daemon" in
   Cmd.v
@@ -200,6 +270,7 @@ let cmd =
       const run $ server_arg $ requests_arg $ rate_arg $ connections_arg
       $ concurrency_arg $ mix_arg $ target_arg $ budget_arg $ stop_at_arg
       $ seed_arg $ summary_arg $ bench_arg $ stop_server_arg $ timeout_arg
-      $ Obs_cli.term)
+      $ ramp_arg $ ramp_start_arg $ ramp_factor_arg $ ramp_p99_arg
+      $ ramp_steps_arg $ ramp_bisect_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -90,7 +90,7 @@ let run_trial master spec ~make ~strategy ~n ~size_idx ~strat_idx ~trial =
         ];
   (cost, truncated, outcome.Runner.gave_up)
 
-let measure ?jobs master ~make ~strategies ~sizes ~spec =
+let validate_grid ~sizes ~spec =
   if spec.trials < 1 then invalid_arg "Searchability.measure: need trials >= 1";
   List.iter
     (fun n ->
@@ -99,26 +99,36 @@ let measure ?jobs master ~make ~strategies ~sizes ~spec =
         invalid_arg
           (Printf.sprintf "Searchability.measure: budget must be positive (got %d for n = %d)"
              b n))
-    sizes;
+    sizes
+
+let n_grid_tasks ~sizes ~strategies ~spec =
+  List.length sizes * List.length strategies * spec.trials
+
+(* One flattened grid task, ascending in exactly the order the old
+   sequential triple loop visited (size, strategy, trial).  This
+   decomposition is the unit both Pool.mapi (below) and the lib/fabric
+   worker processes execute, so a shard of [lo, hi) tasks run in
+   another process is draw-for-draw the same work as positions
+   [lo, hi) of an in-process run. *)
+let run_grid_task master ~spec ~make ~strategies ~sizes task =
+  let n_strats = Array.length strategies in
+  let cell = task / spec.trials and trial = task mod spec.trials in
+  let size_idx = cell / n_strats and strat_idx = cell mod n_strats in
+  run_trial master spec ~make ~strategy:strategies.(strat_idx) ~n:sizes.(size_idx) ~size_idx
+    ~strat_idx ~trial
+
+(* Statistical aggregation over the flat outcome array, folding trial
+   results in trial order — bit-identical to the sequential loop, and
+   shared by measure and the fabric coordinator's shard merge. *)
+let aggregate ~sizes ~strategies ~spec outcomes =
   let sizes_a = Array.of_list sizes in
   let strategies_a = Array.of_list strategies in
   let n_strats = Array.length strategies_a in
-  let n_cells = Array.length sizes_a * n_strats in
-  let n_tasks = n_cells * spec.trials in
-  (* Flattened task index, ascending in exactly the order the old
-     sequential triple loop visited (size, strategy, trial) — the pool
-     merges per-task observability shards in this order, so metrics
-     and trace come out identical at any job count. *)
-  let outcomes =
-    Sf_parallel.Pool.with_pool ?jobs (fun pool ->
-        Sf_parallel.Pool.mapi pool n_tasks (fun task ->
-            let cell = task / spec.trials and trial = task mod spec.trials in
-            let size_idx = cell / n_strats and strat_idx = cell mod n_strats in
-            run_trial master spec ~make ~strategy:strategies_a.(strat_idx)
-              ~n:sizes_a.(size_idx) ~size_idx ~strat_idx ~trial))
-  in
-  (* Statistical aggregation stays on the caller, folding trial
-     results in trial order — bit-identical to the sequential loop. *)
+  let expected = Array.length sizes_a * n_strats * spec.trials in
+  if Array.length outcomes <> expected then
+    invalid_arg
+      (Printf.sprintf "Searchability.aggregate: %d outcomes for a %d-task grid"
+         (Array.length outcomes) expected);
   let points = ref [] in
   Array.iteri
     (fun size_idx n ->
@@ -138,7 +148,7 @@ let measure ?jobs master ~make ~strategies ~sizes ~spec =
           let point =
             {
               n;
-              strategy = strategy.Strategy.name;
+              strategy;
               trials = spec.trials;
               mean = Sf_stats.Summary.mean summary;
               ci95 = Sf_stats.Summary.ci95_halfwidth summary;
@@ -152,6 +162,21 @@ let measure ?jobs master ~make ~strategies ~sizes ~spec =
         strategies_a)
     sizes_a;
   List.rev !points
+
+let measure ?jobs master ~make ~strategies ~sizes ~spec =
+  validate_grid ~sizes ~spec;
+  let sizes_a = Array.of_list sizes in
+  let strategies_a = Array.of_list strategies in
+  let n_tasks = n_grid_tasks ~sizes ~strategies ~spec in
+  (* Flattened task index — the pool merges per-task observability
+     shards in this order, so metrics and trace come out identical at
+     any job count. *)
+  let outcomes =
+    Sf_parallel.Pool.with_pool ?jobs (fun pool ->
+        Sf_parallel.Pool.mapi pool n_tasks
+          (run_grid_task master ~spec ~make ~strategies:strategies_a ~sizes:sizes_a))
+  in
+  aggregate ~sizes ~strategies:(List.map (fun s -> s.Strategy.name) strategies) ~spec outcomes
 
 (* --- corpus-cached instance makers (doc/STORAGE.md) ----------------
 

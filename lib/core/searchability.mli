@@ -68,6 +68,47 @@ val measure :
     returns a non-positive budget for any requested size — a budget of
     zero would silently record every trial as a timeout. *)
 
+(** {2 The grid, one task at a time}
+
+    [measure] is [run_grid_task] fanned over a {!Sf_parallel.Pool}
+    followed by [aggregate]; the pieces are public so the distributed
+    fabric ([lib/fabric]) can run shards of the same flattened task
+    range in worker {e processes} and still merge to byte-identical
+    output (doc/FABRIC.md). *)
+
+val validate_grid : sizes:int list -> spec:spec -> unit
+(** The argument checks {!measure} performs.
+    @raise Invalid_argument as {!measure}. *)
+
+val n_grid_tasks : sizes:int list -> strategies:'a list -> spec:spec -> int
+(** [|sizes| * |strategies| * spec.trials] — the flattened task count. *)
+
+val run_grid_task :
+  Sf_prng.Rng.t ->
+  spec:spec ->
+  make:(Sf_prng.Rng.t -> int -> Sf_graph.Ugraph.t * int) ->
+  strategies:Sf_search.Strategy.t array ->
+  sizes:int array ->
+  int ->
+  float * bool * bool
+(** Run flattened grid task [task] (ascending in (size, strategy,
+    trial) order, trial innermost) on its own {!trial_rng} stream and
+    return [(cost, truncated, gave_up)]. Depends only on the master
+    stream and the task index — any process may run any task in any
+    order. *)
+
+val aggregate :
+  sizes:int list ->
+  strategies:string list ->
+  spec:spec ->
+  (float * bool * bool) array ->
+  point list
+(** Fold a full flat outcome array (as indexed by {!run_grid_task})
+    into points, in (size, strategy) order with trials folded in trial
+    order — bit-identical to a sequential loop.
+    @raise Invalid_argument when the array length is not the grid's
+    task count. *)
+
 val trial_rng :
   Sf_prng.Rng.t -> size_idx:int -> strat_idx:int -> trial:int -> Sf_prng.Rng.t
 (** The split stream a {!measure} grid hands to the given (size,

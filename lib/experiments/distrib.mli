@@ -1,0 +1,24 @@
+(** Experiment fan-out over worker {e processes} — the
+    {!Sf_fabric.Swarm} driving one experiment per assignment, for when
+    domains cannot help (memory isolation, crash tolerance). The
+    domain pool ({!Registry.run_all}) remains the default; this is the
+    [--workers] path of [sfexp run] (doc/PARALLELISM.md, "Domains or
+    processes?"). *)
+
+val run_all_processes :
+  sock_path:string ->
+  workers:int ->
+  spawn:(unit -> int) ->
+  Registry.entry list ->
+  (Registry.entry * Exp.result) list
+(** Run the entries on worker processes started with [spawn] (which
+    must exec something that calls {!worker_main} against
+    [sock_path]). Results return in input order, and each worker's
+    registry counter deltas are folded into this process's registry in
+    input order — counter totals match a sequential run regardless of
+    completion order. Worker quick/seed configuration travels in the
+    spawned argv, not the protocol.
+    @raise Failure when a worker cannot produce a result. *)
+
+val worker_main : connect:string -> quick:bool -> seed:int -> unit
+(** The worker side: serve experiment ids until [Quit] or EOF. *)

@@ -1,0 +1,74 @@
+(** The process pool: a coordinator select loop plus the matching
+    worker loop, generic over what a "job" is. The grid runner
+    ({!Coordinator} / {!Worker}) and the experiment fan-out
+    ([Sf_experiments.Distrib]) both sit on this engine.
+
+    The coordinator binds a unix-domain control socket through
+    {!Sf_obs.Sock} (stale sockets of crashed coordinators are
+    reclaimed, live ones refused — so the same run directory cannot be
+    coordinated twice), spawns worker processes, and feeds each
+    connection [Assign] jobs until the pending queue drains. Worker
+    death — EOF, a reset, an unresynchronisable stream, SIGKILL at any
+    instant — requeues the in-flight job at the head and spawns a
+    replacement, up to [max_spawns]. Progress lands in the [fabric.*]
+    registry metrics and trace instants, so [sftop] can watch a
+    distributed run live (doc/FABRIC.md).
+
+    The engine never looks inside job bodies; determinism is the
+    client's concern — jobs must be pure functions of their index. *)
+
+type report = {
+  sw_completed : int;
+  sw_spawned : int;  (** processes started, including replacements *)
+  sw_deaths : int;
+  sw_reassigned : int;  (** jobs requeued after a death *)
+}
+
+val spawn_exec : string array -> int
+(** Spawn [argv] (argv.(0) is the executable path) via
+    [Unix.create_process], returning the child pid — the standard
+    [spawn] callback for CLI use. Not fork+exec: OCaml 5 forbids
+    [Unix.fork] once any domain has been created, and coordinators
+    routinely run domain-pool work first. *)
+
+val run :
+  who:string ->
+  sock_path:string ->
+  workers:int ->
+  ?backlog:int ->
+  ?max_spawns:int ->
+  ?stop_after:int ->
+  spawn:(unit -> int) ->
+  pending:int list ->
+  assign_body:(int -> string) ->
+  on_done:(job:int -> body:string -> unit) ->
+  ?on_progress:(job:int -> body:string -> unit) ->
+  unit ->
+  [ `Complete | `Stopped_early ] * report
+(** Drive [pending] (job indices, assigned head-first) to completion
+    on [workers] concurrent processes started with [spawn].
+
+    [stop_after k] stops the run once [k] jobs have completed,
+    SIGKILLing the remaining workers mid-job — the controlled way to
+    manufacture a crashed, resumable state (tests, the CI fabric-smoke
+    job). [`Stopped_early] is returned iff jobs remain.
+
+    [max_spawns] (default [workers + 32]) bounds total process starts;
+    exceeding it aborts with [Failure] after killing the fleet — the
+    backstop against a job that kills every worker it is assigned to.
+
+    On every path — complete, stopped early, failure — children are
+    reaped and the socket closed and unlinked before returning.
+
+    @raise Invalid_argument when [workers < 1]; [Failure] on the spawn
+    limit or an internal invariant violation. *)
+
+val worker_loop :
+  connect:string ->
+  handle:(job:int -> body:string -> progress:(string -> unit) -> string) ->
+  unit
+(** The worker side: connect to the coordinator's socket, send [Hello]
+    with our pid, then serve [Assign] jobs with [handle] (its return
+    value becomes the [Done] body; [progress] sends a [Progress] body)
+    until [Quit] or EOF. A vanished coordinator is an exit, not an
+    error — the work must be re-derivable from checkpoints. *)

@@ -1,0 +1,46 @@
+(** The shard runner — what one worker process does with one assigned
+    shard of the grid (doc/FABRIC.md).
+
+    Trials run strictly in task order on the same
+    {!Sf_prng.Rng.split_at} streams an in-process
+    {!Sf_core.Searchability.measure} would use, checkpointing
+    atomically every [ckpt_every] trials: at any instant the on-disk
+    state is a consistent prefix of the shard, so SIGKILL costs at most
+    [ckpt_every - 1] redone trials and zero bytes of output
+    difference. *)
+
+val fault_fires : seed:int -> shard:int -> next:int -> float -> bool
+(** The deterministic crash schedule: whether the worker self-SIGKILLs
+    after writing the checkpoint at position [next] is a pure function
+    of [(seed, shard, next)]. Each kill point fires at most once per
+    run history — the next incarnation resumes beyond it — so a
+    fault-rate run always terminates, and a given seed always
+    exercises the same crashes. *)
+
+val run_shard :
+  dir:string ->
+  grid_crc:int32 ->
+  Grid.plan ->
+  shard:int ->
+  ?fault_rate:float ->
+  ?ckpt_every:int ->
+  ?progress:(int -> unit) ->
+  ?after_ckpt:(next:int -> unit) ->
+  unit ->
+  Ckpt.t
+(** Run (or resume) one shard to completion and return its final,
+    complete checkpoint. An existing checkpoint is validated against
+    [grid_crc], the shard range and the plan's rng token — a mismatch
+    is [Failure], never a silent restart. [progress] is called after
+    each checkpoint with the tasks completed so far in this shard;
+    [after_ckpt] is the test hook for simulating a crash at an exact
+    checkpoint boundary (raise from it to stop mid-shard).
+
+    With [fault_rate > 0] the process may {b SIGKILL itself} and not
+    return — callers other than worker processes must pass [0]. *)
+
+val main :
+  dir:string -> connect:string -> fault_rate:float -> ckpt_every:int -> unit -> unit
+(** The [sffabric worker] entry point: load the plan from [dir],
+    connect to the coordinator at [connect], and serve shard
+    assignments until [Quit] or EOF. *)

@@ -37,14 +37,12 @@ val render_json : scrapes:int -> unit -> string
 (** {1 The listener} *)
 
 val claim_unix_path : who:string -> string -> unit
-(** Make a filesystem path safe to bind a fresh unix-domain stream
-    socket at: a stale socket left by a dead process is unlinked and
-    reclaimed; anything else — a regular file, a directory, or a
-    socket another live process still answers on (checked with a
-    connect probe) — is refused. Shared by this listener and the
-    [lib/serve] request socket, so every long-lived listener in the
-    repo has the same lifecycle behaviour. [who] prefixes the error
-    messages.
+(** Alias of {!Sock.claim_unix_path}, kept so existing callers read
+    naturally: make a filesystem path safe to bind a fresh unix-domain
+    stream socket at — a stale socket left by a dead process is
+    unlinked and reclaimed; anything else is refused. Every long-lived
+    listener in the repo (this one, [lib/serve], [lib/fabric]) shares
+    the one implementation.
     @raise Invalid_argument on an empty path, one at or beyond the
     [sun_path] limit (104 chars), or an unreclaimable [path]. *)
 

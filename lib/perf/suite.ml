@@ -158,6 +158,74 @@ let tests ~quick =
           ignore (Sf_sim.Event_queue.next q)
         done);
   ]
+  (* fabric overhead (doc/FABRIC.md): the checkpoint codec round trip
+     through the filesystem and the coordinator's merge of complete
+     shard checkpoints — the prices a distributed grid pays over an
+     in-process one *)
+  @
+  let n_out = max 64 (scale 4096) in
+  let shards = 8 in
+  let spec =
+    {
+      Sf_fabric.Grid.gs_model = "mori";
+      gs_p = 0.5;
+      gs_m = 1;
+      gs_alpha = 0.5;
+      gs_exponent = 2.3;
+      gs_sizes = [ 64 ];
+      gs_strategies = [ "high-degree" ];
+      gs_trials = n_out;
+      gs_metric = `Neighbor;
+      gs_source = `Oldest;
+      gs_budget_mul = 4;
+      gs_budget_add = 0;
+      gs_seed = 1;
+    }
+  in
+  let plan = Sf_fabric.Grid.make_plan ~shards spec in
+  let crc = Sf_fabric.Grid.plan_crc plan in
+  let token = Sf_fabric.Grid.rng_token spec in
+  let dir = Filename.temp_file "sfbench_fab" "" in
+  Sys.remove dir;
+  Sf_fabric.Grid.mkdir_p (Filename.dirname (Sf_fabric.Grid.shard_path dir 0));
+  let orng = Sf_prng.Rng.copy rng0 in
+  let ckpt_of shard (lo, hi) =
+    {
+      Sf_fabric.Ckpt.c_grid_crc = crc;
+      c_shard = shard;
+      c_lo = lo;
+      c_hi = hi;
+      c_rng_token = token;
+      c_next = hi;
+      c_outcomes =
+        Array.init (hi - lo) (fun _ -> (Sf_prng.Rng.unit_float orng *. 100., false, false));
+      c_counters = [ ("search.request", (hi - lo) * 17) ];
+    }
+  in
+  Array.iteri
+    (fun shard range ->
+      Sf_fabric.Ckpt.write ~path:(Sf_fabric.Grid.shard_path dir shard) (ckpt_of shard range))
+    plan.Sf_fabric.Grid.p_shards;
+  let one = ckpt_of 0 plan.Sf_fabric.Grid.p_shards.(0) in
+  let wpath = Filename.concat dir "bench.ckpt" in
+  Sf_fabric.Ckpt.write ~path:wpath one;
+  at_exit (fun () ->
+      let rm p = try Sys.remove p with Sys_error _ -> () in
+      rm wpath;
+      Array.iteri (fun shard _ -> rm (Sf_fabric.Grid.shard_path dir shard)) plan.Sf_fabric.Grid.p_shards;
+      (try Unix.rmdir (Filename.dirname (Sf_fabric.Grid.shard_path dir 0)) with Unix.Unix_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  [
+    mk
+      (Printf.sprintf "fabric: ckpt write %d outcomes" (Array.length one.Sf_fabric.Ckpt.c_outcomes))
+      (fun () -> Sf_fabric.Ckpt.write ~path:wpath one);
+    mk
+      (Printf.sprintf "fabric: ckpt read %d outcomes" (Array.length one.Sf_fabric.Ckpt.c_outcomes))
+      (fun () -> ignore (Sf_fabric.Ckpt.load ~path:wpath));
+    mk
+      (Printf.sprintf "fabric: merge %d shards x %d" shards (n_out / shards))
+      (fun () -> ignore (Sf_fabric.Coordinator.merge ~dir ~grid_crc:crc plan));
+  ]
 
 let micro_cfg ~quick =
   Benchmark.cfg ~limit:200

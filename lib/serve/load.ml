@@ -380,6 +380,95 @@ let to_bench ~date ~commit ~mode o =
       ];
   }
 
+(* ---- capacity ramp ---------------------------------------------------- *)
+
+type ramp_step = {
+  r_rate : float;
+  r_outcome : outcome;
+  r_p99_ms : float;
+  r_ok : bool;
+}
+
+type ramp_result = {
+  r_steps : ramp_step list;
+  r_capacity : float option;
+  r_ceiling : float option;
+}
+
+let p99_ms o =
+  if o.o_wall_ns = [||] then infinity
+  else
+    match Quantile.quantiles o.o_wall_ns ~qs:[ 0.99 ] with
+    | [ p99 ] -> p99 /. 1e6
+    | _ -> assert false
+
+(* A step holds iff the server kept up: every request answered, no
+   errors, and tail latency under the threshold.  An unanswered run
+   has p99 = infinity, so the three conditions are really one: the
+   offered rate was sustained. *)
+let step ~threshold_ms probe rate =
+  let o = probe ~rate in
+  let p99 = p99_ms o in
+  { r_rate = rate; r_outcome = o; r_p99_ms = p99;
+    r_ok = o.o_missing = 0 && o.o_errors = 0 && p99 <= threshold_ms }
+
+let ramp ?(start = 50.) ?(factor = 2.) ?(p99_ms = 50.) ?(max_steps = 10) ?(bisect = 2) probe =
+  if start <= 0. then invalid_arg "Load.ramp: start must be positive";
+  if factor <= 1. then invalid_arg "Load.ramp: factor must exceed 1";
+  if p99_ms <= 0. then invalid_arg "Load.ramp: p99 threshold must be positive";
+  if max_steps < 1 then invalid_arg "Load.ramp: need at least one step";
+  if bisect < 0 then invalid_arg "Load.ramp: bisect rounds must be >= 0";
+  let threshold_ms = p99_ms in
+  let steps = ref [] in
+  let probe_at rate =
+    let s = step ~threshold_ms probe rate in
+    steps := s :: !steps;
+    s
+  in
+  (* geometric climb until the server blows the threshold *)
+  let rec climb rate last_ok left =
+    if left = 0 then (last_ok, None)
+    else
+      let s = probe_at rate in
+      if s.r_ok then climb (rate *. factor) (Some rate) (left - 1)
+      else (last_ok, Some rate)
+  in
+  match climb start None max_steps with
+  | None, None -> { r_steps = List.rev !steps; r_capacity = None; r_ceiling = None }
+  | None, Some bad ->
+    (* the very first rate failed: no capacity estimate, only a ceiling *)
+    { r_steps = List.rev !steps; r_capacity = None; r_ceiling = Some bad }
+  | Some ok, None ->
+    (* never failed within max_steps: the estimate is a lower bound *)
+    { r_steps = List.rev !steps; r_capacity = Some ok; r_ceiling = None }
+  | Some ok, Some bad ->
+    (* bracket [ok, bad]: tighten by geometric-mean bisection *)
+    let lo = ref ok and hi = ref bad in
+    for _ = 1 to bisect do
+      let mid = sqrt (!lo *. !hi) in
+      let s = probe_at mid in
+      if s.r_ok then lo := mid else hi := mid
+    done;
+    { r_steps = List.rev !steps; r_capacity = Some !lo; r_ceiling = Some !hi }
+
+let ramp_report r =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "sfload ramp (wall clock)\n";
+  pf "  %10s %12s %10s %8s %8s  %s\n" "rate" "achieved" "p99" "errors" "missing" "verdict";
+  List.iter
+    (fun s ->
+      pf "  %10.1f %12.1f %9.2fms %8d %8d  %s\n" s.r_rate s.r_outcome.o_achieved_rate
+        s.r_p99_ms s.r_outcome.o_errors s.r_outcome.o_missing
+        (if s.r_ok then "ok" else "OVER"))
+    r.r_steps;
+  (match (r.r_capacity, r.r_ceiling) with
+  | Some c, Some x -> pf "  capacity ~%.1f req/s (ceiling %.1f req/s)\n" c x
+  | Some c, None -> pf "  capacity >=%.1f req/s (never saturated; raise --ramp-steps)\n" c
+  | None, Some x -> pf "  capacity <%.1f req/s (first rate already over; lower --ramp-start)\n" x
+  | None, None -> pf "  no capacity estimate (no steps ran)\n");
+  Buffer.contents b
+
 let record_metrics o =
   Counter.add (Registry.counter "load.sent") o.o_sent;
   Counter.add (Registry.counter "load.replies") o.o_replies;

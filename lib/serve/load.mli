@@ -99,6 +99,50 @@ val to_bench :
     the raw service-cost samples ([jobs] records the connection
     count). @raise Invalid_argument when no replies were received. *)
 
+(** {1 Capacity ramp}
+
+    The [--ramp] mode of [sfload]: geometric open-loop rate escalation
+    until the server can no longer keep up, then geometric-mean
+    bisection inside the bracketing interval — one number out, the
+    sustainable request rate (doc/SERVING.md, "Capacity planning"). *)
+
+type ramp_step = {
+  r_rate : float;  (** offered rate of this step *)
+  r_outcome : outcome;
+  r_p99_ms : float;  (** [infinity] when nothing was answered *)
+  r_ok : bool;  (** no errors, no missing replies, p99 under threshold *)
+}
+
+type ramp_result = {
+  r_steps : ramp_step list;  (** probe order *)
+  r_capacity : float option;
+      (** highest rate that held; [None] when even the first failed *)
+  r_ceiling : float option;
+      (** lowest rate that blew the threshold; [None] when none did *)
+}
+
+val ramp :
+  ?start:float ->
+  ?factor:float ->
+  ?p99_ms:float ->
+  ?max_steps:int ->
+  ?bisect:int ->
+  (rate:float -> outcome) ->
+  ramp_result
+(** [ramp probe] offers [start] (default 50 req/s), multiplies by
+    [factor] (default 2) while the server keeps up — every request
+    answered, no errors, p99 at most [p99_ms] (default 50) — and on
+    the first failure tightens the bracket with [bisect] (default 2)
+    rounds of geometric-mean bisection. [probe] runs one open-loop
+    measurement at the given rate; the engine never opens sockets
+    itself. At most [max_steps] (default 10) climb steps run.
+    @raise Invalid_argument on non-positive [start]/[p99_ms], [factor
+    <= 1], [max_steps < 1] or negative [bisect]. *)
+
+val ramp_report : ramp_result -> string
+(** Step table plus the capacity line — wall-clock numbers, honest and
+    unrepeatable like {!report}. *)
+
 val record_metrics : outcome -> unit
 (** Fold the outcome into the process-global registry:
     [load.sent]/[load.replies]/[load.errors] counters and the

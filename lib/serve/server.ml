@@ -100,7 +100,7 @@ let bind_endpoint ~backlog ep =
   let fd =
     match ep with
     | Wire.Unix_path path ->
-      Sf_obs.Expose.claim_unix_path ~who:"Serve.listen" path;
+      Sf_obs.Sock.claim_unix_path ~who:"Serve.listen" path;
       Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
     | Wire.Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
   in

@@ -16,5 +16,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
       ("serve", Test_serve.suite);
+      ("fabric", Test_fabric.suite);
       ("perf", Test_perf.suite);
     ]

@@ -621,6 +621,107 @@ let test_load_rejects_bad_config () =
       (fun () -> Load.config ~seed:1 ~requests:1 ~budget:0 ep);
     ]
 
+(* ---- the capacity ramp, against a synthetic probe ------------------- *)
+
+(* ramp never opens sockets itself — the probe closure does — so the
+   climb/bisect logic is testable as a pure function of a simulated
+   server with a known capacity cliff *)
+let fake_outcome ?(errors = 0) ?(missing = 0) ~lat_ms n =
+  let replies = max 0 (n - missing - errors) in
+  {
+    Load.o_requests = n;
+    o_connections = 1;
+    o_rate = 0.;
+    o_seed = 1;
+    o_n_vertices = 100;
+    o_sent = n;
+    o_replies = replies;
+    o_errors = errors;
+    o_missing = missing;
+    o_found = replies;
+    o_exhausted = 0;
+    o_gave_up = 0;
+    o_mix_counts = [ ("high-degree", n) ];
+    o_costs = Array.make replies 10;
+    o_wall_ns = Array.make replies (lat_ms *. 1e6);
+    o_reply_crc = 0l;
+    o_elapsed_s = 1.;
+    o_achieved_rate = float_of_int replies;
+  }
+
+let test_ramp_brackets_capacity () =
+  (* a hard cliff at 1000 req/s: fast below, hopeless above *)
+  let offered = ref [] in
+  let probe ~rate =
+    offered := rate :: !offered;
+    if rate <= 1000. then fake_outcome ~lat_ms:5. 20
+    else fake_outcome ~lat_ms:200. 20
+  in
+  let r = Load.ramp ~start:50. ~factor:2. ~p99_ms:50. ~max_steps:10 ~bisect:2 probe in
+  (* geometric climb 50..800 holds, 1600 blows, two geometric-mean
+     bisection rounds tighten the bracket around the cliff *)
+  (match r.Load.r_capacity with
+  | Some c ->
+    Alcotest.(check bool) "capacity above last good climb" true (c >= 800.);
+    Alcotest.(check bool) "capacity below the cliff" true (c <= 1000.)
+  | None -> Alcotest.fail "no capacity found");
+  (match r.Load.r_ceiling with
+  | Some c ->
+    Alcotest.(check bool) "ceiling above the cliff" true (c > 1000.);
+    Alcotest.(check bool) "ceiling tightened by bisection" true (c < 1600.)
+  | None -> Alcotest.fail "no ceiling found");
+  Alcotest.(check int) "6 climb + 2 bisect probes" 8 (List.length r.Load.r_steps);
+  (* the climb really was geometric from start *)
+  (match List.rev !offered with
+  | a :: b :: c :: _ ->
+    Alcotest.(check (float 1e-9)) "first rate" 50. a;
+    Alcotest.(check (float 1e-9)) "second rate" 100. b;
+    Alcotest.(check (float 1e-9)) "third rate" 200. c
+  | _ -> Alcotest.fail "too few probes");
+  (* the report renders every step and a capacity line *)
+  let report = Load.ramp_report r in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report mentions capacity" true (contains report "capacity")
+
+let test_ramp_edge_cases () =
+  (* even the first rate fails: no capacity, ceiling = start *)
+  let r = Load.ramp ~start:50. ~p99_ms:50. (fun ~rate:_ -> fake_outcome ~lat_ms:200. 10) in
+  Alcotest.(check bool) "no capacity" true (r.Load.r_capacity = None);
+  Alcotest.(check bool) "ceiling is the first rate" true (r.Load.r_ceiling = Some 50.);
+  (* nothing fails within max_steps: capacity is the last climb, no ceiling *)
+  let r = Load.ramp ~start:50. ~factor:2. ~p99_ms:50. ~max_steps:3 (fun ~rate:_ -> fake_outcome ~lat_ms:5. 10) in
+  Alcotest.(check bool) "capacity is the last climb" true (r.Load.r_capacity = Some 200.);
+  Alcotest.(check bool) "no ceiling" true (r.Load.r_ceiling = None);
+  Alcotest.(check int) "exactly max_steps probes" 3 (List.length r.Load.r_steps);
+  (* errors and missing replies fail a step regardless of latency *)
+  let r = Load.ramp ~start:50. ~bisect:0 (fun ~rate ->
+      if rate <= 50. then fake_outcome ~lat_ms:5. 10
+      else fake_outcome ~errors:1 ~lat_ms:5. 10)
+  in
+  Alcotest.(check bool) "errors blow the step" true (r.Load.r_ceiling = Some 100.);
+  (* a step with no replies at all is p99 = infinity, a failure *)
+  let r = Load.ramp ~start:50. ~bisect:0 (fun ~rate:_ -> fake_outcome ~missing:10 ~lat_ms:5. 10) in
+  Alcotest.(check bool) "silent server fails the first step" true (r.Load.r_capacity = None);
+  (match r.Load.r_steps with
+  | [ s ] -> Alcotest.(check bool) "p99 is infinite" true (s.Load.r_p99_ms = infinity)
+  | _ -> Alcotest.fail "expected one step");
+  (* validation *)
+  List.iter
+    (fun f -> match f () with
+      | (_ : Load.ramp_result) -> Alcotest.fail "bad ramp config accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Load.ramp ~start:0. (fun ~rate:_ -> fake_outcome ~lat_ms:1. 1));
+      (fun () -> Load.ramp ~factor:1. (fun ~rate:_ -> fake_outcome ~lat_ms:1. 1));
+      (fun () -> Load.ramp ~p99_ms:0. (fun ~rate:_ -> fake_outcome ~lat_ms:1. 1));
+      (fun () -> Load.ramp ~max_steps:0 (fun ~rate:_ -> fake_outcome ~lat_ms:1. 1));
+      (fun () -> Load.ramp ~bisect:(-1) (fun ~rate:_ -> fake_outcome ~lat_ms:1. 1));
+    ]
+
 let suite =
   [
     ("endpoint parsing", `Quick, test_endpoint_parsing);
@@ -645,4 +746,6 @@ let suite =
     ("load: bench file validates", `Quick, test_load_bench_file_validates);
     ("load: open loop", `Quick, test_open_loop_poisson);
     ("load: config validation", `Quick, test_load_rejects_bad_config);
+    ("ramp: brackets a capacity cliff", `Quick, test_ramp_brackets_capacity);
+    ("ramp: edge cases and validation", `Quick, test_ramp_edge_cases);
   ]
