@@ -153,7 +153,7 @@ let stop_telemetry session =
     Sf_obs.Expose.stop listener;
     Sf_obs.Series.stop series
 
-let start (t : t) =
+let start ?process (t : t) =
   (* phase timings must not depend on Unix.gettimeofday: inject
      bechamel's CLOCK_MONOTONIC stub before anything reads the clock *)
   Sf_obs.Timer.set_clock (fun () -> Int64.to_float (Monotonic_clock.now ()) /. 1e9);
@@ -189,7 +189,7 @@ let start (t : t) =
        rather than raising *)
     ignore (Sf_obs.Flight.install_sigusr1 flight);
     let flight_id = Sf_obs.Trace.attach (Sf_obs.Flight.sink flight) in
-    let file_id = Sf_obs.Trace_export.attach_file path in
+    let file_id = Sf_obs.Trace_export.attach_file ?process path in
     session [ flight_id; file_id ] (Some flight)
 
 let close_sinks session = List.iter Sf_obs.Trace.detach session.sink_ids
@@ -253,8 +253,8 @@ let finish (t : t) session ?(extra = fun () -> []) ~tool ~seed ~mode code =
       Printf.eprintf "cannot write run manifest: %s\n" msg;
       if code = 0 then 1 else code)
 
-let with_session (t : t) ?extra ~tool ~seed ~mode body =
-  let session = start t in
+let with_session (t : t) ?process ?extra ~tool ~seed ~mode body =
+  let session = start ?process t in
   match body () with
   | code -> finish t session ?extra ~tool ~seed ~mode code
   | exception exn ->

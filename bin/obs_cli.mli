@@ -51,6 +51,7 @@ val endpoint_conv : Sf_serve.Wire.endpoint Cmdliner.Arg.conv
 
 val with_session :
   t ->
+  ?process:string ->
   ?extra:(unit -> (string * string) list) ->
   tool:string ->
   seed:int ->
@@ -61,6 +62,9 @@ val with_session :
     attach/detach and manifest writing; returns [body]'s exit code,
     forced to nonzero if the manifest write fails. [extra] is
     evaluated after [body] returns — manifest extras are typically
-    computed inside the body. Re-raises whatever [body] raises, after
-    dumping the flight recorder and closing the sinks (a partial
-    trace file is still written). *)
+    computed inside the body. [process] names this process's track in
+    a Perfetto [--trace] export (default ["main"]) — what makes the
+    per-tool traces of one fleet mergeable with [sftop timeline].
+    Re-raises whatever [body] raises, after dumping the flight
+    recorder and closing the sinks (a partial trace file is still
+    written). *)

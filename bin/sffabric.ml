@@ -138,10 +138,50 @@ let spawn_worker ~dir ~ckpt_every ~fault_rate ~corpus ~sock_path =
 let drive ~dir ~workers ~ckpt_every ~fault_rate ~stop_after ~max_spawns ~sock_path ~quiet
     (obs : Obs_cli.t) loaded =
   let spawn = spawn_worker ~dir ~ckpt_every ~fault_rate ~corpus:obs.Obs_cli.corpus in
-  match
+  (* one consolidated progress line for the whole fleet: workers
+     suppress their own output and report through Proto.Progress, so
+     nothing interleaves on the shared terminal *)
+  let plan = fst loaded in
+  let n_tasks = Fab.Grid.n_tasks plan.Fab.Grid.p_spec in
+  let reporter =
+    if obs.Obs_cli.progress && workers > 0 then begin
+      let p = Sf_obs.Progress.create ~label:"fabric" ~total:n_tasks () in
+      let seen : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      (* resumed work counts from the checkpoints it already holds *)
+      List.iter
+        (fun st ->
+          if st.Fab.Coordinator.st_done > 0 then begin
+            Hashtbl.replace seen st.Fab.Coordinator.st_shard st.Fab.Coordinator.st_done;
+            for _ = 1 to st.Fab.Coordinator.st_done do
+              Sf_obs.Progress.step p
+            done
+          end)
+        (Fab.Coordinator.status ~dir loaded);
+      Some (p, seen)
+    end
+    else None
+  in
+  let on_shard_progress ~shard ~done_tasks ~total =
+    match reporter with
+    | None -> ()
+    | Some (p, seen) ->
+      let prev = Option.value (Hashtbl.find_opt seen shard) ~default:0 in
+      if done_tasks > prev then begin
+        Hashtbl.replace seen shard done_tasks;
+        let detail = Printf.sprintf "shard %d %d/%d" shard done_tasks total in
+        for _ = 1 to done_tasks - prev do
+          Sf_obs.Progress.step ~detail p
+        done
+      end
+  in
+  let result =
     Fab.Coordinator.run ~dir ~workers ~ckpt_every ~fault_rate ?stop_after ?max_spawns
-      ?sock_path ~spawn loaded
-  with
+      ?sock_path
+      ~trace:(obs.Obs_cli.trace <> None && not obs.Obs_cli.no_obs)
+      ~on_shard_progress ~spawn loaded
+  in
+  (match reporter with Some (p, _) -> Sf_obs.Progress.finish p | None -> ());
+  match result with
   | `Complete (points, report) ->
     if not quiet then print_string (Sf_experiments.Exp.render_points points);
     Printf.printf
@@ -166,7 +206,8 @@ let run_main spec dir workers shards ckpt_every fault_rate stop_after max_spawns
     Printf.eprintf "sffabric: %s\n" msg;
     1
   | loaded ->
-    Obs_cli.with_session obs ~tool:"sffabric" ~seed:(seed_of_loaded loaded)
+    Obs_cli.with_session obs ~process:"coordinator" ~tool:"sffabric"
+      ~seed:(seed_of_loaded loaded)
       ~mode:(Printf.sprintf "run-w%d" workers)
     @@ fun () ->
     drive ~dir ~workers ~ckpt_every ~fault_rate ~stop_after ~max_spawns ~sock_path ~quiet obs
@@ -178,7 +219,8 @@ let resume_main dir workers ckpt_every fault_rate stop_after max_spawns sock_pat
     Printf.eprintf "sffabric: %s\n" msg;
     1
   | loaded ->
-    Obs_cli.with_session obs ~tool:"sffabric" ~seed:(seed_of_loaded loaded)
+    Obs_cli.with_session obs ~process:"coordinator" ~tool:"sffabric"
+      ~seed:(seed_of_loaded loaded)
       ~mode:(Printf.sprintf "resume-w%d" workers)
     @@ fun () ->
     drive ~dir ~workers ~ckpt_every ~fault_rate ~stop_after ~max_spawns ~sock_path ~quiet obs
@@ -195,6 +237,13 @@ let status_main dir =
     if List.for_all (fun st -> st.Fab.Coordinator.st_state = `Complete) sts then 0 else 3
 
 let worker_main dir connect ckpt_every fault_rate corpus =
+  (* workers inherit the coordinator's terminal: no per-trial progress
+     lines from here (the coordinator renders one consolidated line
+     from Proto.Progress), and the same monotonic clock the
+     coordinator injects, so relayed trace timestamps land on one
+     comparable axis in the merged timeline *)
+  Sf_obs.Timer.set_clock (fun () -> Int64.to_float (Monotonic_clock.now ()) /. 1e9);
+  Sf_obs.Progress.set_enabled false;
   Sf_store.Corpus.configure ?dir:corpus ();
   match Fab.Worker.main ~dir ~connect ~fault_rate ~ckpt_every () with
   | () -> 0

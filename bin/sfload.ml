@@ -104,7 +104,7 @@ let run server requests rate connections concurrency mix target budget
     stop_at_neighbor seed summary_file bench_file stop_server timeout ramp
     ramp_start ramp_factor ramp_p99_ms ramp_steps ramp_bisect (obs : Obs_cli.t) =
   let extra = ref [] in
-  Obs_cli.with_session obs ~extra:(fun () -> !extra) ~tool:"sfload" ~seed
+  Obs_cli.with_session obs ~process:"load" ~extra:(fun () -> !extra) ~tool:"sfload" ~seed
     ~mode:(if ramp then "ramp" else "load")
   @@ fun () ->
   if ramp then begin

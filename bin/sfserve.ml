@@ -14,7 +14,7 @@ open Cmdliner
 let run model n p m alpha exponent graph_file listen seed target default_budget
     max_frame (obs : Obs_cli.t) =
   let extra = ref [] in
-  Obs_cli.with_session obs ~extra:(fun () -> !extra) ~tool:"sfserve" ~seed
+  Obs_cli.with_session obs ~process:"server" ~extra:(fun () -> !extra) ~tool:"sfserve" ~seed
     ~mode:"serve"
   @@ fun () ->
   if listen = [] then begin

@@ -198,14 +198,113 @@ let render_dashboard ?prev ~path cur =
           (List.filter (fun (_, m) -> num "count" m <> Some 0.) timers)));
   Buffer.add_char b '\n';
   Buffer.add_string b
-    (table [ Left; Right; Right; Right; Right ]
-       [ "histogram"; "count"; "p50"; "p95"; "p99" ]
+    (table [ Left; Right; Right; Right; Right; Right ]
+       [ "histogram"; "count"; "p50"; "p95"; "p99"; "p999" ]
        (rev_rows
           (fun (name, m) ->
             let q f = match num f m with Some v -> fmt_num v | None -> "-" in
-            [ name; fmt_num (Option.value ~default:0. (num "count" m)); q "p50"; q "p95"; q "p99" ])
+            [ name; fmt_num (Option.value ~default:0. (num "count" m)); q "p50"; q "p95"; q "p99"; q "p999" ])
           (List.filter (fun (_, m) -> num "count" m <> Some 0.) histos)));
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* fleet: several sockets, one dashboard                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows carry a proc column (the socket's basename) and sort by metric
+   name first, so the same metric from every process sits together —
+   the aggregate view of a serving fleet or a fabric run. *)
+let render_fleet ?prev snaps =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "sftop fleet - %d process(es)\n" (List.length snaps));
+  List.iter
+    (fun (label, path, s) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-12s %s  t=%.1fs  scrapes=%d\n" label path s.s_ts s.s_scrapes))
+    snaps;
+  Buffer.add_char b '\n';
+  let rate label name v =
+    match prev with
+    | Some prevs when List.mem_assoc label prevs -> (
+      let p = List.assoc label prevs in
+      let cur = List.find (fun (l, _, _) -> l = label) snaps in
+      let _, _, c = cur in
+      let dt = c.s_ts -. p.s_ts in
+      if dt <= 0. then "-"
+      else
+        match series_value p.s_metrics name with
+        | Some v0 -> Printf.sprintf "%.1f/s" ((v -. v0) /. dt)
+        | None -> "-")
+    | _ -> "-"
+  in
+  let rows_of kind_wanted =
+    List.concat_map
+      (fun (label, _, s) ->
+        List.filter_map
+          (fun (name, m) ->
+            if kind_of m = Some kind_wanted then Some (name, label, m) else None)
+          s.s_metrics)
+      snaps
+    |> List.sort (fun (a, la, _) (b, lb, _) -> compare (a, la) (b, lb))
+  in
+  let open Sf_stats.Table in
+  Buffer.add_string b
+    (table [ Left; Left; Right ] [ "gauge"; "proc"; "value" ]
+       (List.filter_map
+          (fun (name, label, m) ->
+            match num "value" m with
+            | Some v -> Some [ name; label; (if is_bytes_gauge name then fmt_bytes v else fmt_num v) ]
+            | None -> None)
+          (rows_of "gauge")));
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (table [ Left; Left; Right; Right ] [ "counter"; "proc"; "value"; "rate" ]
+       (List.filter_map
+          (fun (name, label, m) ->
+            match num "value" m with
+            | Some v when v <> 0. -> Some [ name; label; fmt_num v; rate label name v ]
+            | _ -> None)
+          (rows_of "counter")));
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (table [ Left; Left; Right; Right; Right ]
+       [ "timer"; "proc"; "count"; "total"; "mean" ]
+       (List.filter_map
+          (fun (name, label, m) ->
+            match num "count" m with
+            | Some c when c <> 0. ->
+              Some
+                [
+                  name; label; fmt_num c;
+                  fmt_seconds (Option.value ~default:0. (num "total_s" m));
+                  fmt_seconds (Option.value ~default:0. (num "mean_s" m));
+                ]
+            | _ -> None)
+          (rows_of "timer")));
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (table [ Left; Left; Right; Right; Right; Right; Right ]
+       [ "histogram"; "proc"; "count"; "p50"; "p95"; "p99"; "p999" ]
+       (List.filter_map
+          (fun (name, label, m) ->
+            let q f = match num f m with Some v -> fmt_num v | None -> "-" in
+            match num "count" m with
+            | Some c when c <> 0. ->
+              Some [ name; label; fmt_num c; q "p50"; q "p95"; q "p99"; q "p999" ]
+            | _ -> None)
+          (rows_of "histogram")));
+  Buffer.contents b
+
+(* short, unique labels: the socket basename, disambiguated by index
+   when two paths share one *)
+let fleet_labels paths =
+  let bases = List.map Filename.basename paths in
+  List.mapi
+    (fun i (path, base) ->
+      let dup = List.length (List.filter (( = ) base) bases) > 1 in
+      ((if dup then Printf.sprintf "%s#%d" base (i + 1) else base), path))
+    (List.combine paths bases)
 
 (* ------------------------------------------------------------------ *)
 (* modes                                                               *)
@@ -284,6 +383,141 @@ let record path out count interval =
           Printf.eprintf "recorded %d scrape(s) to %s\n" !taken out;
         if !taken = count then 0 else 1
       end)
+
+let fleet paths once interval =
+  if interval <= 0. then failwith "--interval: must be > 0";
+  let labelled = fleet_labels paths in
+  let take_all ~strict =
+    List.filter_map
+      (fun (label, path) ->
+        match take_snap path with
+        | s -> Some (label, path, s)
+        | exception e when server_gone e && not strict -> None
+        | exception e ->
+          if strict then (
+            Printf.eprintf "sftop fleet: cannot scrape %s: %s\n" path
+              (Printexc.to_string e);
+            failwith "fleet scrape failed")
+          else raise e)
+      labelled
+  in
+  if once then begin
+    let snaps = take_all ~strict:true in
+    print_string (render_fleet snaps);
+    0
+  end
+  else begin
+    let clear = "\027[H\027[2J" in
+    let rec loop prev =
+      let snaps = take_all ~strict:false in
+      if snaps = [] then begin
+        Printf.printf "\nsftop fleet: every socket closed (runs finished); detaching.\n";
+        0
+      end
+      else begin
+        print_string (clear ^ render_fleet ?prev snaps);
+        flush stdout;
+        Unix.sleepf interval;
+        loop (Some (List.map (fun (l, _, s) -> (l, s)) snaps))
+      end
+    in
+    match take_all ~strict:true with
+    | exception e -> connect_failed (String.concat " " paths) e
+    | first ->
+      print_string (clear ^ render_fleet first);
+      flush stdout;
+      Unix.sleepf interval;
+      loop (Some (List.map (fun (l, _, s) -> (l, s)) first))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* timeline: merge per-process .jsonl traces into one Perfetto file    *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Sf_obs.Trace
+
+(* read back what Trace_export.event_jsonl wrote; integral numbers
+   re-enter as Int (the jsonl form does not distinguish) *)
+let event_of_jsonl ~file line =
+  match Json.parse line with
+  | Error msg -> failwith (Printf.sprintf "%s: %s" file msg)
+  | Ok j ->
+    let str k = Option.bind (Json.member k j) Json.as_str in
+    let n k = Option.bind (Json.member k j) Json.as_num in
+    let name = match str "name" with Some s -> s | None -> failwith (file ^ ": event without name") in
+    let kind =
+      match str "ph" with
+      | Some "B" -> Trace.Begin
+      | Some "E" -> Trace.End
+      | Some "i" -> Trace.Instant
+      | Some "C" -> Trace.Counter (Option.value ~default:0. (n "value"))
+      | Some ph -> failwith (Printf.sprintf "%s: unknown phase %S" file ph)
+      | None -> failwith (file ^ ": event without ph")
+    in
+    let args =
+      match Json.member "args" j with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            | Json.Num x when Float.is_integer x && Float.abs x < 1e15 ->
+              Some (k, Trace.Int (int_of_float x))
+            | Json.Num x -> Some (k, Trace.Float x)
+            | Json.Str s -> Some (k, Trace.Str s)
+            | Json.Bool b -> Some (k, Trace.Bool b)
+            | Json.Arr l -> Some (k, Trace.Ints (List.filter_map Json.as_int l))
+            | Json.Null | Json.Obj _ -> None)
+          fields
+      | _ -> []
+    in
+    {
+      Trace.seq = Option.value ~default:0 (Option.bind (Json.member "seq" j) Json.as_int);
+      ts = Option.value ~default:0. (n "ts");
+      name;
+      kind;
+      args;
+    }
+
+let read_jsonl_events file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref [] in
+      (try
+         while true do
+           let l = String.trim (input_line ic) in
+           if l <> "" then acc := event_of_jsonl ~file l :: !acc
+         done
+       with End_of_file -> ());
+      List.rev !acc)
+
+let parse_track_spec s =
+  match String.index_opt s '=' with
+  | Some i when i > 0 ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | _ -> failwith (Printf.sprintf "track %S: expected NAME=FILE.jsonl" s)
+
+let timeline specs out =
+  let tracks =
+    List.map
+      (fun spec ->
+        let name, file = parse_track_spec spec in
+        (name, read_jsonl_events file))
+      specs
+  in
+  let doc = Sf_obs.Trace_export.perfetto_of_tracks tracks in
+  if out = "-" then print_string doc
+  else begin
+    let oc = open_out out in
+    output_string oc doc;
+    close_out oc;
+    Printf.printf "wrote merged timeline (%d tracks, %d events) to %s\n"
+      (List.length tracks)
+      (List.fold_left (fun n (_, evs) -> n + List.length evs) 0 tracks)
+      out
+  end;
+  0
 
 let plot file series_names width height =
   let ic = open_in file in
@@ -390,11 +624,57 @@ let plot_cmd =
 
 let watch_cmd = Cmd.v (Cmd.info "watch" ~doc:"live dashboard (the default)") watch_term
 
+let fleet_cmd =
+  let sockets =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SOCKET"
+          ~doc:"Telemetry sockets of the running processes (one per process)")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Scrape every socket once, print the combined dashboard and exit \
+                (nonzero if any socket is unreachable) — the CI smoke mode")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "aggregate live dashboards across several telemetry sockets (a serving \
+          fleet: server + load, or a fabric coordinator) into one view")
+    Term.(
+      const (fun paths once interval -> wrap (fun () -> fleet paths once interval))
+      $ sockets $ once $ interval_arg)
+
+let timeline_cmd =
+  let tracks =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"NAME=FILE"
+          ~doc:
+            "One track per process: $(docv) pairs a track name with that process's \
+             $(b,--trace) .jsonl file, e.g. $(b,server=srv.jsonl load=load.jsonl)")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the merged Perfetto document to $(docv) (default stdout)")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "merge per-process .jsonl event traces into one Perfetto timeline with a \
+          named track per process — spans sharing a trace id (a load request and \
+          the server stages that served it) line up across tracks")
+    Term.(const (fun specs out -> wrap (fun () -> timeline specs out)) $ tracks $ out)
+
 let cmd =
   let doc = "attach a live dashboard to a running tool's telemetry socket" in
   Cmd.group ~default:watch_term
     (Cmd.info "sftop" ~doc)
-    [ watch_cmd; once_cmd; record_cmd; plot_cmd ]
+    [ watch_cmd; once_cmd; record_cmd; plot_cmd; fleet_cmd; timeline_cmd ]
 
 let () =
   (* a server that shuts down while we write the command line must

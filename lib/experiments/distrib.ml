@@ -107,7 +107,7 @@ let run_all_processes ~sock_path ~workers ~spawn entries =
        entries)
 
 let worker_main ~connect ~quick ~seed =
-  Sf_fabric.Swarm.worker_loop ~connect ~handle:(fun ~job:_ ~body ~progress:_ ->
+  Sf_fabric.Swarm.worker_loop ~connect ~handle:(fun ~job:_ ~body ~progress:_ ~telemetry:_ ->
       match Registry.find body with
       | None -> failwith (Printf.sprintf "Distrib worker: unknown experiment %s" body)
       | Some entry ->

@@ -119,18 +119,29 @@ let merge ~dir ~grid_crc (plan : Grid.plan) =
   (out, !counters)
 
 let run ~dir ~workers ?(ckpt_every = 16) ?(fault_rate = 0.) ?stop_after ?max_spawns
-    ?sock_path ~spawn ((plan, grid_crc) : Grid.plan * int32) =
+    ?sock_path ?(trace = false) ?(on_shard_progress = fun ~shard:_ ~done_tasks:_ ~total:_ -> ())
+    ~spawn ((plan, grid_crc) : Grid.plan * int32) =
   if workers < 0 then invalid_arg "Coordinator.run: workers must be >= 0";
   if fault_rate < 0. || fault_rate >= 1. then
     invalid_arg "Coordinator.run: fault_rate must be in [0, 1)";
   let pend = pending ~dir ~grid_crc plan in
+  (* per-counter totals already applied live from worker relays, so the
+     final merge only adds the gap (trials checkpointed but never
+     relayed — a worker that died between its last checkpoint write and
+     the relay send).  Empty when tracing is off. *)
+  let relayed : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let finish ~apply_counters report =
     let outcomes, counters = merge ~dir ~grid_crc plan in
     (* in distributed mode the trials ran in other processes; fold
        their persisted counter deltas into this registry so sftop and
        the exposition socket see grid totals, not just fabric.* *)
     if apply_counters then
-      List.iter (fun (name, v) -> Sf_obs.Counter.add (Registry.counter name) v) counters;
+      List.iter
+        (fun (name, v) ->
+          let live = Option.value (Hashtbl.find_opt relayed name) ~default:0 in
+          let gap = max 0 (v - live) in
+          if gap > 0 then Sf_obs.Counter.add (Registry.counter name) gap)
+        counters;
     let points = Grid.write_outputs ~dir plan ~outcomes ~counters in
     `Complete (points, report)
   in
@@ -170,16 +181,43 @@ let run ~dir ~workers ?(ckpt_every = 16) ?(fault_rate = 0.) ?stop_after ?max_spa
         let prev = Option.value (Hashtbl.find_opt last_seen job) ~default:0 in
         if cum > prev then begin
           Hashtbl.replace last_seen job cum;
-          Sf_obs.Counter.add c_tasks_done (cum - prev)
+          Sf_obs.Counter.add c_tasks_done (cum - prev);
+          let lo, hi = plan.Grid.p_shards.(job) in
+          on_shard_progress ~shard:job ~done_tasks:cum ~total:(hi - lo)
         end
+    in
+    (* telemetry relays land here: name the sending process by its pid
+       in first-seen order ("worker-1", "worker-2", ...), apply the
+       counter deltas live and replay the trace events — tagged with
+       the track name — into this process's stream *)
+    let worker_names : (int, string) Hashtbl.t = Hashtbl.create 8 in
+    let on_telemetry ~pid ~job:_ ~body =
+      match Relay.decode body with
+      | exception _ -> () (* the frame CRC passed, so this is a version skew, not corruption; drop *)
+      | batch ->
+        let proc =
+          match Hashtbl.find_opt worker_names pid with
+          | Some n -> n
+          | None ->
+            let n = Printf.sprintf "worker-%d" (Hashtbl.length worker_names + 1) in
+            Hashtbl.replace worker_names pid n;
+            n
+        in
+        List.iter
+          (fun (name, v) ->
+            Hashtbl.replace relayed name
+              (v + Option.value (Hashtbl.find_opt relayed name) ~default:0))
+          batch.Relay.r_counters;
+        Sf_obs.Shard.merge_remote ~proc ~counters:batch.Relay.r_counters
+          ~events:batch.Relay.r_events
     in
     let outcome, report =
       Swarm.run ~who:"Coordinator.run" ~sock_path ~workers ~max_spawns ?stop_after
         ~spawn:(fun () -> spawn ~sock_path)
         ~pending:pend
-        ~assign_body:(fun _ -> "")
+        ~assign_body:(fun _ -> Relay.assign_body ~trace)
         ~on_done:(fun ~job:_ ~body:_ -> ())
-        ~on_progress ()
+        ~on_progress ~on_telemetry ()
     in
     match outcome with
     | `Stopped_early -> `Stopped_early report

@@ -54,6 +54,8 @@ val run :
   ?stop_after:int ->
   ?max_spawns:int ->
   ?sock_path:string ->
+  ?trace:bool ->
+  ?on_shard_progress:(shard:int -> done_tasks:int -> total:int -> unit) ->
   spawn:(sock_path:string -> int) ->
   Grid.plan * int32 ->
   [ `Complete of Sf_core.Searchability.point list * Swarm.report
@@ -69,6 +71,19 @@ val run :
     boundary is an at-most-once kill point). In distributed mode the
     merged counter deltas are folded into this process's registry so
     live telemetry reports grid totals.
+
+    [trace] asks each worker (via the {!Relay} flag in the [Assign]
+    body) to relay its buffered [fabric.*] trace events and counter
+    deltas after every checkpoint write. Relayed events replay into
+    this process's trace stream tagged with a per-worker track name
+    (["worker-1"], ... in first-seen pid order), so a Perfetto export
+    shows one named track per process; relayed counters apply live,
+    and the final merge adds only the checkpointed-but-never-relayed
+    gap — merged totals, [measure.csv] and [manifest.json] are
+    byte-identical with tracing on or off. [on_shard_progress] fires
+    on every worker progress message with that shard's cumulative
+    count — what [sffabric] renders as its consolidated progress
+    line.
 
     @raise Invalid_argument on [workers < 0] or [fault_rate] outside
     [\[0, 1)]; [Failure] on foreign checkpoints or the spawn limit. *)

@@ -24,6 +24,9 @@ type msg =
   | Assign of { job : int; body : string }
   | Done of { job : int; body : string }
   | Progress of { job : int; body : string }
+  | Telemetry of { job : int; body : string }
+    (* worker -> coordinator: a Relay batch of buffered trace events
+       and counter deltas, shipped after each checkpoint write *)
   | Quit
 
 let kind_hello = 0x21
@@ -31,6 +34,7 @@ let kind_assign = 0x22
 let kind_done = 0x23
 let kind_progress = 0x24
 let kind_quit = 0x25
+let kind_telemetry = 0x26
 
 (* ------------------------------------------------------------------ *)
 (* Payload codec                                                       *)
@@ -75,6 +79,11 @@ let encode msg =
       Varint.write buf job;
       write_string buf body;
       buf
+    | Telemetry { job; body } ->
+      let buf = start_payload kind_telemetry in
+      Varint.write buf job;
+      write_string buf body;
+      buf
     | Quit ->
       let buf = start_payload kind_quit in
       Varint.write buf 0;
@@ -111,13 +120,17 @@ let decode s =
     let pid, pos = Varint.read s ~pos:2 in
     finish ~payload_end ~pos (Hello pid)
   end
-  else if kind = kind_assign || kind = kind_done || kind = kind_progress then begin
+  else if
+    kind = kind_assign || kind = kind_done || kind = kind_progress
+    || kind = kind_telemetry
+  then begin
     let job, pos = Varint.read s ~pos:2 in
     let body, pos = read_string s ~payload_end ~pos in
     finish ~payload_end ~pos
       (if kind = kind_assign then Assign { job; body }
        else if kind = kind_done then Done { job; body }
-       else Progress { job; body })
+       else if kind = kind_progress then Progress { job; body }
+       else Telemetry { job; body })
   end
   else if kind = kind_quit then begin
     let zero, pos = Varint.read s ~pos:2 in

@@ -4,19 +4,23 @@
     format: varint bodies, canonical encoding, strict decode where
     every mutilated input raises {!Sf_store.Codec_error.Error}.
 
-    Five message kinds make the whole conversation: a worker opens
+    Six message kinds make the whole conversation: a worker opens
     with [Hello pid]; the coordinator answers each idle worker with
     [Assign] (an opaque job body — the grid runner and the experiment
     fan-out define their own) or [Quit]; the worker streams optional
-    [Progress] and ends the job with [Done]. Anything else — EOF, a
-    bad frame — is a worker death and triggers reassignment
-    (doc/FABRIC.md). *)
+    [Progress] and [Telemetry] (a {!Relay} batch of buffered trace
+    events and counter deltas) and ends the job with [Done]. Anything
+    else — EOF, a bad frame — is a worker death and triggers
+    reassignment (doc/FABRIC.md). *)
 
 type msg =
   | Hello of int  (** worker's pid — how the coordinator learns who to reap *)
   | Assign of { job : int; body : string }
   | Done of { job : int; body : string }
   | Progress of { job : int; body : string }
+  | Telemetry of { job : int; body : string }
+      (** worker → coordinator, after each checkpoint write: the
+          {!Relay}-encoded observability delta since the last relay *)
   | Quit
 
 val version : int

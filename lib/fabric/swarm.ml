@@ -53,7 +53,8 @@ type wstate = {
 let trace name args = if Trace.active () then Trace.emit name Trace.Instant ~args
 
 let run ~who ~sock_path ~workers ?(backlog = 16) ?max_spawns ?stop_after ~spawn ~pending
-    ~assign_body ~on_done ?(on_progress = fun ~job:_ ~body:_ -> ()) () =
+    ~assign_body ~on_done ?(on_progress = fun ~job:_ ~body:_ -> ())
+    ?(on_telemetry = fun ~pid:_ ~job:_ ~body:_ -> ()) () =
   if workers < 1 then invalid_arg (who ^ ": need at least one worker");
   let total = List.length pending in
   let target = match stop_after with Some k -> max 1 (min k total) | None -> total in
@@ -134,6 +135,8 @@ let run ~who ~sock_path ~workers ?(backlog = 16) ?max_spawns ?stop_after ~spawn 
         on_done ~job ~body;
         if !completed < target then assign_or_quit w
       | Proto.Progress { job; body } -> on_progress ~job ~body
+      | Proto.Telemetry { job; body } ->
+        on_telemetry ~pid:(Option.value w.w_pid ~default:0) ~job ~body
       | Proto.Assign _ | Proto.Quit -> death w
     in
     let cleanup ~kill =
@@ -244,11 +247,14 @@ let worker_loop ~connect ~handle =
           let progress body =
             try Proto.send c (Proto.Progress { job; body }) with Unix.Unix_error _ -> ()
           in
-          let result = handle ~job ~body ~progress in
+          let telemetry body =
+            try Proto.send c (Proto.Telemetry { job; body }) with Unix.Unix_error _ -> ()
+          in
+          let result = handle ~job ~body ~progress ~telemetry in
           (try Proto.send c (Proto.Done { job; body = result })
            with Unix.Unix_error _ -> ());
           loop ()
-        | Some (Proto.Hello _ | Proto.Done _ | Proto.Progress _) ->
+        | Some (Proto.Hello _ | Proto.Done _ | Proto.Progress _ | Proto.Telemetry _) ->
           failwith "fabric worker: unexpected coordinator message"
       in
       loop ())

@@ -43,6 +43,7 @@ val run :
   assign_body:(int -> string) ->
   on_done:(job:int -> body:string -> unit) ->
   ?on_progress:(job:int -> body:string -> unit) ->
+  ?on_telemetry:(pid:int -> job:int -> body:string -> unit) ->
   unit ->
   [ `Complete | `Stopped_early ] * report
 (** Drive [pending] (job indices, assigned head-first) to completion
@@ -57,6 +58,11 @@ val run :
     exceeding it aborts with [Failure] after killing the fleet — the
     backstop against a job that kills every worker it is assigned to.
 
+    [on_telemetry] receives each [Telemetry] message with the sending
+    worker's pid (0 if the message somehow precedes [Hello]) — the
+    {!Coordinator} uses the pid to keep one merged-timeline track per
+    worker process.
+
     On every path — complete, stopped early, failure — children are
     reaped and the socket closed and unlinked before returning.
 
@@ -65,10 +71,16 @@ val run :
 
 val worker_loop :
   connect:string ->
-  handle:(job:int -> body:string -> progress:(string -> unit) -> string) ->
+  handle:
+    (job:int ->
+    body:string ->
+    progress:(string -> unit) ->
+    telemetry:(string -> unit) ->
+    string) ->
   unit
 (** The worker side: connect to the coordinator's socket, send [Hello]
     with our pid, then serve [Assign] jobs with [handle] (its return
-    value becomes the [Done] body; [progress] sends a [Progress] body)
-    until [Quit] or EOF. A vanished coordinator is an exit, not an
-    error — the work must be re-derivable from checkpoints. *)
+    value becomes the [Done] body; [progress] sends a [Progress] body,
+    [telemetry] a [Telemetry] body — a {!Relay} batch) until [Quit] or
+    EOF. A vanished coordinator is an exit, not an error — the work
+    must be re-derivable from checkpoints. *)

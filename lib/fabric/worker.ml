@@ -25,6 +25,52 @@ let c_shards_run = Registry.counter "fabric.shards_run"
 let c_ckpt_writes = Registry.counter "fabric.ckpt_writes"
 let t_ckpt_write = Registry.timer "fabric.ckpt_write_s"
 
+(* --- telemetry relay ------------------------------------------------ *)
+
+(* When an Assign asks for tracing (Relay.assign_wants_trace), the
+   worker buffers its own fabric.* trace events in a process-global
+   sink and ships them — together with the counter deltas the
+   checkpoint just persisted — as a Relay batch after every checkpoint
+   write.  Only fabric.*-named events are kept: a trial emits
+   search.trial spans and per-request oracle instants by the thousand,
+   and relaying those over the control socket would swamp it; the
+   per-shard story (trial spans, checkpoint instants) is what the
+   merged fleet timeline wants.  The buffer is bounded as a backstop —
+   it drains every ckpt_every trials, so the cap is never the limit in
+   a healthy run. *)
+
+let relay_max_events = 4096
+let relay_buf : Trace.event list ref = ref [] (* newest first *)
+let relay_buf_len = ref 0
+let relay_attached = ref false
+
+let relay_keep name =
+  String.length name >= 7 && String.sub name 0 7 = "fabric."
+
+let ensure_relay_sink () =
+  if not !relay_attached then begin
+    relay_attached := true;
+    ignore
+      (Trace.attach
+         {
+           Trace.descr = "fabric telemetry relay";
+           emit =
+             (fun e ->
+               if relay_keep e.Trace.name && !relay_buf_len < relay_max_events
+               then begin
+                 relay_buf := e :: !relay_buf;
+                 incr relay_buf_len
+               end);
+           close = (fun () -> ());
+         })
+  end
+
+let relay_drain () =
+  let evs = List.rev !relay_buf in
+  relay_buf := [];
+  relay_buf_len := 0;
+  evs
+
 let fault_fires ~seed ~shard ~next rate =
   rate > 0.
   &&
@@ -107,30 +153,62 @@ let run_shard ~dir ~grid_crc (plan : Grid.plan) ~shard ?(fault_rate = 0.) ?(ckpt
     else begin
       let last = ref None in
       while !next < hi do
-        out.(!next - lo) <- S.run_grid_task master ~spec:cspec ~make ~strategies ~sizes !next;
+        let task = !next in
+        let traced = Trace.active () in
+        if traced then
+          Trace.emit "fabric.trial" Trace.Begin
+            ~args:
+              (("shard", Trace.Int shard)
+              :: ("task", Trace.Int task)
+              :: Sf_obs.Tctx.args
+                   (Sf_obs.Tctx.derive ~seed:spec.Grid.gs_seed ~id:task));
+        out.(task - lo) <- S.run_grid_task master ~spec:cspec ~make ~strategies ~sizes task;
+        if traced then Trace.emit "fabric.trial" Trace.End;
         incr next;
         if (!next - lo) mod ckpt_every = 0 || !next = hi then last := Some (write_ckpt ())
       done;
       match !last with Some c -> c | None -> assert false
     end
 
-(* The Swarm handle for grid work: job = shard id, empty assign body
-   (everything derives from the run directory), empty done body (the
-   result lives in the checkpoint file), progress body = varint of
-   tasks completed in the shard. *)
-let handle ~dir ~grid_crc plan ~fault_rate ~ckpt_every ~job ~body:_ ~progress =
+(* The Swarm handle for grid work: job = shard id, assign body = the
+   Relay trace flag (everything else derives from the run directory),
+   empty done body (the result lives in the checkpoint file), progress
+   body = varint of tasks completed in the shard, telemetry body = a
+   Relay batch after each checkpoint write. *)
+let handle ~dir ~grid_crc plan ~fault_rate ~ckpt_every ~job ~body ~progress ~telemetry =
   let send_progress done_tasks =
     let buf = Buffer.create 8 in
     Sf_store.Varint.write buf done_tasks;
     progress (Buffer.contents buf)
   in
+  let flush =
+    if not (Relay.assign_wants_trace body) then fun ~next:_ -> ()
+    else begin
+      ensure_relay_sink ();
+      (* relay after (never before) the checkpoint write, in deltas
+         from the last relay: across any crash history, relayed totals
+         stay <= checkpointed totals, and the coordinator closes the
+         gap from the checkpoints at the end of the run *)
+      let last = ref (Ckpt.counters_snapshot ()) in
+      fun ~next:_ ->
+        let now = Ckpt.counters_snapshot () in
+        let counters = Ckpt.counters_delta ~base:!last now in
+        last := now;
+        let events = relay_drain () in
+        if events <> [] || counters <> [] then
+          telemetry (Relay.encode { Relay.r_events = events; r_counters = counters })
+    end
+  in
   let (_ : Ckpt.t) =
     run_shard ~dir ~grid_crc plan ~shard:job ~fault_rate ~ckpt_every ~progress:send_progress
-      ()
+      ~after_ckpt:flush ()
   in
+  (* a resumed-complete shard writes no checkpoint; nothing new to
+     relay in that case, but drain any stragglers all the same *)
+  flush ~next:(-1);
   ""
 
 let main ~dir ~connect ~fault_rate ~ckpt_every () =
   let plan, grid_crc = Grid.load_plan ~dir in
-  Swarm.worker_loop ~connect ~handle:(fun ~job ~body ~progress ->
-      handle ~dir ~grid_crc plan ~fault_rate ~ckpt_every ~job ~body ~progress)
+  Swarm.worker_loop ~connect ~handle:(fun ~job ~body ~progress ~telemetry ->
+      handle ~dir ~grid_crc plan ~fault_rate ~ckpt_every ~job ~body ~progress ~telemetry)

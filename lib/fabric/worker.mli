@@ -37,10 +37,19 @@ val run_shard :
     checkpoint boundary (raise from it to stop mid-shard).
 
     With [fault_rate > 0] the process may {b SIGKILL itself} and not
-    return — callers other than worker processes must pass [0]. *)
+    return — callers other than worker processes must pass [0].
+
+    When this process is tracing ({!Sf_obs.Trace.active}), each trial
+    is wrapped in a [fabric.trial] span carrying the shard, the task
+    index and the {!Sf_obs.Tctx} context derived from
+    [(seed, task)] — the per-shard story the merged fleet timeline
+    shows (doc/OBSERVABILITY.md). *)
 
 val main :
   dir:string -> connect:string -> fault_rate:float -> ckpt_every:int -> unit -> unit
 (** The [sffabric worker] entry point: load the plan from [dir],
     connect to the coordinator at [connect], and serve shard
-    assignments until [Quit] or EOF. *)
+    assignments until [Quit] or EOF. When an [Assign] body carries the
+    {!Relay} trace flag, the worker buffers its [fabric.*] trace
+    events and ships a {!Relay} batch (events plus the just-persisted
+    counter deltas) after every checkpoint write. *)

@@ -37,12 +37,12 @@ let metric_json = function
     in
     let q p = if Histo.count h = 0 then "null" else json_float (Histo.quantile h p) in
     Printf.sprintf
-      {|{"kind":"histogram","count":%d,"sum":%s,"min":%s,"max":%s,"p50":%s,"p90":%s,"p95":%s,"p99":%s,"buckets":[%s]}|}
+      {|{"kind":"histogram","count":%d,"sum":%s,"min":%s,"max":%s,"p50":%s,"p90":%s,"p95":%s,"p99":%s,"p999":%s,"buckets":[%s]}|}
       (Histo.count h)
       (json_float (Histo.sum h))
       (json_float (Histo.min_value h))
       (json_float (Histo.max_value h))
-      (q 0.5) (q 0.9) (q 0.95) (q 0.99) buckets
+      (q 0.5) (q 0.9) (q 0.95) (q 0.99) (q 0.999) buckets
 
 let metrics_json () =
   let b = Buffer.create 1024 in

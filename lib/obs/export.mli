@@ -19,7 +19,7 @@ val metrics_json : unit -> string
 (** The registry as one JSON object: name → [{"kind": ..., ...}].
     Counters carry [value]; timers [count], [total_s], [mean_s];
     gauges [value], [set]; histograms [count], [sum], [min], [max],
-    [p50]/[p90]/[p99] and the non-empty [buckets] as
+    [p50]/[p90]/[p95]/[p99]/[p999] and the non-empty [buckets] as
     [[upper_bound, count]] pairs. *)
 
 val metrics_csv : unit -> string

@@ -65,7 +65,8 @@ let render_prometheus_for metrics =
         if Histo.count h > 0 then begin
           line {|%s{quantile="0.5"} %s|} base (prom_float (Histo.quantile h 0.5));
           line {|%s{quantile="0.95"} %s|} base (prom_float (Histo.quantile h 0.95));
-          line {|%s{quantile="0.99"} %s|} base (prom_float (Histo.quantile h 0.99))
+          line {|%s{quantile="0.99"} %s|} base (prom_float (Histo.quantile h 0.99));
+          line {|%s{quantile="0.999"} %s|} base (prom_float (Histo.quantile h 0.999))
         end;
         line "%s_sum %s" base (prom_float (Histo.sum h));
         line "%s_count %d" base (Histo.count h))

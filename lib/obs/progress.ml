@@ -3,6 +3,14 @@
    padded to the longest line written so a shorter update fully
    overwrites a longer one. *)
 
+(* Process-wide kill switch: fabric worker processes inherit the
+   coordinator's terminal, and N workers redrawing carriage-return
+   lines over each other is garbage — workers flip this off and report
+   through Proto.Progress instead, leaving the coordinator's single
+   consolidated line as the only writer. *)
+let enabled = ref true
+let set_enabled v = enabled := v
+
 type t = {
   out : out_channel;
   label : string;
@@ -37,6 +45,7 @@ let line t ~detail =
   Printf.sprintf "%s: %s (elapsed %s%s)%s" t.label counts (fmt_seconds elapsed) eta detail
 
 let show t s =
+  if !enabled then
   let padded =
     if String.length s >= t.widest then begin
       t.widest <- String.length s;
@@ -56,8 +65,10 @@ let finish t =
   if not t.finished then begin
     t.finished <- true;
     show t (line t ~detail:"done");
-    output_char t.out '\n';
-    flush t.out
+    if !enabled then begin
+      output_char t.out '\n';
+      flush t.out
+    end
   end
 
 let completed t = t.completed

@@ -9,6 +9,12 @@
 
 type t
 
+val set_enabled : bool -> unit
+(** Process-wide kill switch (default on). When off, reporters update
+    their counts but write nothing — fabric {e worker} processes,
+    which share the coordinator's terminal, turn this off so only the
+    coordinator's consolidated line redraws. *)
+
 val create : ?out:out_channel -> label:string -> total:int -> unit -> t
 (** A reporter expecting [total] units of work ([total = 0] means
     unknown: counts are shown without an ETA). [out] defaults to

@@ -4,7 +4,7 @@
    for one scalar facet of one metric.  Sampling walks the registry
    and pushes the current value of every facet — counters as their
    count, timers as [.total_s]/[.count], set gauges as their value,
-   histograms as [.count]/[.sum]/[.p50]/[.p95]/[.p99] — so rolling
+   histograms as [.count]/[.sum]/[.p50]/[.p95]/[.p99]/[.p999] — so rolling
    rates, EWMAs and windowed quantiles can be derived from a running
    process without waiting for the end-of-run manifest.
 
@@ -172,7 +172,8 @@ let sample t =
               if Histo.count h > 0 then begin
                 push t (name ^ ".p50") ~ts ~v:(Histo.quantile h 0.5);
                 push t (name ^ ".p95") ~ts ~v:(Histo.quantile h 0.95);
-                push t (name ^ ".p99") ~ts ~v:(Histo.quantile h 0.99)
+                push t (name ^ ".p99") ~ts ~v:(Histo.quantile h 0.99);
+                push t (name ^ ".p999") ~ts ~v:(Histo.quantile h 0.999)
               end)
           metrics;
         t.n_samples <- t.n_samples + 1)

@@ -9,7 +9,7 @@
     - a timer [name] → [name.total_s] and [name.count];
     - a gauge [name] → [name], only once it has been set;
     - a histogram [name] → [name.count], [name.sum] and (when
-      non-empty) [name.p50], [name.p95], [name.p99].
+      non-empty) [name.p50], [name.p95], [name.p99], [name.p999].
 
     {!start} spawns a background sampler thread ticking every
     [tick_s]; it also refreshes the GC and RSS gauges

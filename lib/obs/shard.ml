@@ -58,3 +58,14 @@ let merge s =
   Histo.apply s.histos;
   Registry.apply_gauges s.gauges;
   Trace.replay s.events
+
+(* The cross-process sibling of [merge]: what a fabric worker relays
+   over the control socket is a named-counter delta list plus its
+   buffered events (Sf_fabric.Relay), not a full shard — timers and
+   histograms stay process-local, and exact totals are reconciled from
+   checkpoints at the end of the run (Sf_fabric.Coordinator). *)
+let merge_remote ~proc ~counters ~events =
+  List.iter
+    (fun (name, v) -> if v > 0 then Counter.add (Registry.counter name) v)
+    counters;
+  Trace.replay (Trace_export.tag ~proc events)

@@ -41,3 +41,17 @@ val merge : t -> unit
 (** Fold a shard into the process-wide metrics and the attached trace
     sinks (or into the enclosing capture, when nested). Call on the
     domain that owns the sinks, in task-index order. *)
+
+val merge_remote :
+  proc:string ->
+  counters:(string * int) list ->
+  events:Trace.event list ->
+  unit
+(** Fold a {e relayed} shard — named counter deltas plus buffered
+    trace events shipped from another process — into this process's
+    registry and trace stream. Events are tagged with track name
+    [proc] ({!Trace_export.tag}) before replay, so the merged Perfetto
+    timeline shows them on the sender's own track; replay assigns
+    fresh local sequence numbers in arrival order, which is the
+    sender's emission order. Non-positive counter deltas are
+    ignored. *)

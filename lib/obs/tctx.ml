@@ -1,0 +1,31 @@
+(* Cross-process trace correlation: a trace id names one logical
+   request (or one grid task) across every process that touches it, a
+   span id names one process's piece of the work.  Ids are derived by
+   pure integer mixing from (seed, request id) — never from Random or
+   a clock — so a fixed-seed run names its spans identically on every
+   execution, and the wire bytes that carry a context are themselves
+   deterministic. *)
+
+type t = { trace : int; span : int }
+
+(* splitmix64-style finalizer restricted to OCaml's 63-bit int: two
+   xor-shift-multiply rounds with odd constants (the splitmix64 ones,
+   truncated to fit a 63-bit literal), then mask the sign bit away so
+   the id is always non-negative (varint-encodable, printable as 16
+   hex digits without 2^63 overflow games). *)
+let mix a b =
+  let z = a lxor (b * 0x1E3779B97F4A7C15) in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+let derive ~seed ~id =
+  let trace = mix (mix seed 0x7472616365) id (* "trace" *) in
+  { trace; span = mix trace 0 }
+
+let child t ~key = { t with span = mix t.span (key + 1) }
+
+let to_hex v = Printf.sprintf "%016x" v
+
+let args t =
+  [ ("trace", Trace.Str (to_hex t.trace)); ("span", Trace.Str (to_hex t.span)) ]

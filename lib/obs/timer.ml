@@ -76,6 +76,8 @@ let absorb t ~total ~count =
 let apply ds =
   List.iter (fun d -> if d.t_count > 0 then absorb d.t_target ~total:d.t_total ~count:d.t_count) ds
 
+let add_s = record
+
 let time t f =
   let t0 = now_s () in
   Fun.protect ~finally:(fun () -> record t (now_s () -. t0)) f

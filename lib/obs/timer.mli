@@ -35,6 +35,12 @@ val stop : t -> unit
 (** Close the interval opened by {!start} and accumulate it. A [stop]
     without a pending [start] is ignored. *)
 
+val add_s : t -> float -> unit
+(** Accumulate one externally measured interval of [dt] seconds — for
+    stages whose endpoints are recorded clock readings rather than a
+    wrappable closure (the server's per-request stage breakdown).
+    Negative [dt] is clamped to zero; capture-aware like {!time}. *)
+
 val count : t -> int
 (** Number of accumulated intervals. *)
 

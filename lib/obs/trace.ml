@@ -78,9 +78,10 @@ let dispatch e =
   let e = { e with seq = !seq } in
   List.iter (fun (_, s) -> s.emit e) !sinks
 
-let emit ?(args = []) name kind =
+let emit ?ts ?(args = []) name kind =
   if active () then begin
-    let e = { seq = 0; ts = Timer.now_s (); name; kind; args } in
+    let ts = match ts with Some t -> t | None -> Timer.now_s () in
+    let e = { seq = 0; ts; name; kind; args } in
     match !(Domain.DLS.get slot) with
     | Some buf -> buf := e :: !buf
     | None -> dispatch e

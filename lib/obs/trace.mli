@@ -44,9 +44,13 @@ val active : unit -> bool
     enabled. Sites with non-trivial payload preparation should guard
     on this before building [args]. *)
 
-val emit : ?args:(string * arg) list -> string -> kind -> unit
+val emit : ?ts:float -> ?args:(string * arg) list -> string -> kind -> unit
 (** Emit one event to every attached sink, in attach order. A no-op
-    (single branch) when {!active} is false. *)
+    (single branch) when {!active} is false. [ts] overrides the
+    {!Timer.now_s} stamp — for spans reconstructed after the fact from
+    recorded clock readings (the server's stage breakdown, the load
+    generator's per-request spans); pair such [Begin]/[End] events
+    adjacently so renderer span stacks still match them up. *)
 
 val instant : ?args:(string * arg) list -> string -> unit
 val counter : ?args:(string * arg) list -> string -> float -> unit

@@ -2,7 +2,19 @@
    as events arrive) and the Chrome trace-event / Perfetto form
    (buffered, written on close as a {"traceEvents": [...]} document
    loadable in ui.perfetto.dev).  JSON is rendered by hand, as for
-   manifests (Export). *)
+   manifests (Export).
+
+   The Perfetto form is multi-process: an event carrying a
+   ("proc", Str name) arg is routed to a named track (a Chrome "pid"),
+   assigned in first-seen order and announced with a "process_name"
+   metadata record; untagged events land on the default track.  This
+   is how one document holds a whole fleet — the coordinator's own
+   events plus relayed worker events, or a server and load timeline
+   merged after the fact. *)
+
+let proc_key = "proc"
+
+let proc_arg name = (proc_key, Trace.Str name)
 
 let args_json args =
   let arg_json = function
@@ -48,19 +60,19 @@ let jsonl_file path =
 (* --- Chrome trace-event / Perfetto ---------------------------------- *)
 
 (* Timestamps are microseconds relative to the first event.  Begin/End
-   pairs become one complete ("ph":"X") slice each, matched by the
-   nesting stack the single-threaded harness guarantees; instants and
-   counters pass through as "i" and "C" records. *)
+   pairs become one complete ("ph":"X") slice each, matched by a
+   per-track nesting stack; instants and counters pass through as "i"
+   and "C" records on their track. *)
 
 type renderer = {
   buf : Buffer.t;
   mutable t0 : float option;
   mutable last_us : float;
-  mutable open_spans : (string * float * (string * Trace.arg) list) list;
+  procs : (string, int) Hashtbl.t;  (* track name -> pid, first-seen order *)
+  mutable next_pid : int;
+  open_spans : (int, (string * float * (string * Trace.arg) list) list) Hashtbl.t;
   mutable n_records : int;
 }
-
-let renderer () = { buf = Buffer.create 4096; t0 = None; last_us = 0.; open_spans = []; n_records = 0 }
 
 let add_record r fields =
   if r.n_records > 0 then Buffer.add_char r.buf ',';
@@ -69,41 +81,88 @@ let add_record r fields =
   Buffer.add_char r.buf '}';
   r.n_records <- r.n_records + 1
 
-let complete_slice r ~name ~ts_us ~dur_us ~args =
+let name_track r ~pid name =
+  add_record r
+    [
+      {|"name":"process_name"|};
+      {|"ph":"M"|};
+      Printf.sprintf {|"pid":%d|} pid;
+      {|"tid":1|};
+      Printf.sprintf {|"args":{"name":%s}|} (Export.json_string name);
+    ]
+
+let renderer ?(process = "main") () =
+  let r =
+    {
+      buf = Buffer.create 4096;
+      t0 = None;
+      last_us = 0.;
+      procs = Hashtbl.create 8;
+      next_pid = 2;
+      open_spans = Hashtbl.create 8;
+      n_records = 0;
+    }
+  in
+  Hashtbl.add r.procs process 1;
+  name_track r ~pid:1 process;
+  r
+
+(* the ("proc", _) arg is consumed here: it becomes the record's pid
+   and is not repeated in the rendered args *)
+let route r (e : Trace.event) =
+  match List.assoc_opt proc_key e.args with
+  | Some (Trace.Str p) -> (
+    match Hashtbl.find_opt r.procs p with
+    | Some pid -> pid
+    | None ->
+      let pid = r.next_pid in
+      r.next_pid <- pid + 1;
+      Hashtbl.add r.procs p pid;
+      name_track r ~pid p;
+      pid)
+  | _ -> 1
+
+let drop_proc args = List.filter (fun (k, _) -> k <> proc_key) args
+
+let complete_slice r ~pid ~name ~ts_us ~dur_us ~args =
   add_record r
     [
       Printf.sprintf {|"name":%s|} (Export.json_string name);
       {|"ph":"X"|};
       Printf.sprintf {|"ts":%.3f|} ts_us;
       Printf.sprintf {|"dur":%.3f|} dur_us;
-      {|"pid":1|};
+      Printf.sprintf {|"pid":%d|} pid;
       {|"tid":1|};
       Printf.sprintf {|"args":%s|} (args_json args);
     ]
 
 let feed r (e : Trace.event) =
+  let pid = route r e in
   let t0 = match r.t0 with Some t0 -> t0 | None -> r.t0 <- Some e.ts; e.ts in
   let ts_us = Float.max 0. ((e.ts -. t0) *. 1e6) in
   r.last_us <- Float.max r.last_us ts_us;
+  let args = drop_proc e.args in
+  let stack () = Option.value (Hashtbl.find_opt r.open_spans pid) ~default:[] in
   match e.kind with
-  | Trace.Begin -> r.open_spans <- (e.name, ts_us, e.args) :: r.open_spans
+  | Trace.Begin -> Hashtbl.replace r.open_spans pid ((e.name, ts_us, args) :: stack ())
   | Trace.End -> (
-    match r.open_spans with
+    match stack () with
     | [] -> () (* unmatched End: dropped, as Span.leave ignores it *)
-    | (name, t_begin, args) :: rest ->
-      r.open_spans <- rest;
-      complete_slice r ~name ~ts_us:t_begin ~dur_us:(Float.max 0. (ts_us -. t_begin))
-        ~args:(args @ e.args))
+    | (name, t_begin, bargs) :: rest ->
+      Hashtbl.replace r.open_spans pid rest;
+      complete_slice r ~pid ~name ~ts_us:t_begin
+        ~dur_us:(Float.max 0. (ts_us -. t_begin))
+        ~args:(bargs @ args))
   | Trace.Instant ->
     add_record r
       [
         Printf.sprintf {|"name":%s|} (Export.json_string e.name);
         {|"ph":"i"|};
         Printf.sprintf {|"ts":%.3f|} ts_us;
-        {|"pid":1|};
+        Printf.sprintf {|"pid":%d|} pid;
         {|"tid":1|};
         {|"s":"t"|};
-        Printf.sprintf {|"args":%s|} (args_json e.args);
+        Printf.sprintf {|"args":%s|} (args_json args);
       ]
   | Trace.Counter v ->
     add_record r
@@ -111,38 +170,75 @@ let feed r (e : Trace.event) =
         Printf.sprintf {|"name":%s|} (Export.json_string e.name);
         {|"ph":"C"|};
         Printf.sprintf {|"ts":%.3f|} ts_us;
-        {|"pid":1|};
+        Printf.sprintf {|"pid":%d|} pid;
         Printf.sprintf {|"args":{"value":%s}|} (Export.json_float v);
       ]
 
 let finish r =
   (* a run that raised mid-span leaves Begins unmatched: close them at
-     the last seen timestamp so the slices still render *)
+     the last seen timestamp so the slices still render.  Tracks are
+     drained in pid order so the document is a pure function of the
+     event sequence. *)
+  let stacks =
+    List.sort compare (Hashtbl.fold (fun pid spans acc -> (pid, spans) :: acc) r.open_spans [])
+  in
   List.iter
-    (fun (name, t_begin, args) ->
-      complete_slice r ~name ~ts_us:t_begin ~dur_us:(Float.max 0. (r.last_us -. t_begin)) ~args)
-    r.open_spans;
-  r.open_spans <- [];
+    (fun (pid, spans) ->
+      List.iter
+        (fun (name, t_begin, args) ->
+          complete_slice r ~pid ~name ~ts_us:t_begin
+            ~dur_us:(Float.max 0. (r.last_us -. t_begin))
+            ~args)
+        spans)
+    stacks;
+  Hashtbl.reset r.open_spans;
   Printf.sprintf {|{"traceEvents":[%s],"displayTimeUnit":"ms"}|} (Buffer.contents r.buf)
   ^ "\n"
 
-let perfetto_json events =
-  let r = renderer () in
+let perfetto_json ?process events =
+  let r = renderer ?process () in
   List.iter (feed r) events;
   finish r
 
-let perfetto_sink write =
-  let r = renderer () in
+let perfetto_sink ?process write =
+  let r = renderer ?process () in
   { Trace.descr = "perfetto"; emit = feed r; close = (fun () -> write (finish r)) }
 
-let perfetto_file path =
-  perfetto_sink (fun doc ->
+let perfetto_file ?process path =
+  perfetto_sink ?process (fun doc ->
       let oc = open_out path in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc))
 
+(* --- multi-track merge ---------------------------------------------- *)
+
+let tag ~proc events =
+  List.map
+    (fun (e : Trace.event) ->
+      if List.mem_assoc proc_key e.args then e
+      else { e with args = proc_arg proc :: e.args })
+    events
+
+let merge_tracks tracks =
+  (* per-track order is sequence order (each process's own seq counter
+     is strictly increasing); across tracks the merge is by timestamp,
+     stable, so equal stamps keep track order *)
+  let tagged =
+    List.concat_map
+      (fun (proc, events) ->
+        let events =
+          List.stable_sort (fun (a : Trace.event) b -> compare a.seq b.seq) events
+        in
+        tag ~proc events)
+      tracks
+  in
+  List.stable_sort (fun (a : Trace.event) b -> Float.compare a.ts b.ts) tagged
+
+let perfetto_of_tracks ?process tracks = perfetto_json ?process (merge_tracks tracks)
+
 (* --- file-extension dispatch ---------------------------------------- *)
 
-let sink_for_path path =
-  if Filename.check_suffix path ".jsonl" then jsonl_file path else perfetto_file path
+let sink_for_path ?process path =
+  if Filename.check_suffix path ".jsonl" then jsonl_file path
+  else perfetto_file ?process path
 
-let attach_file path = Trace.attach (sink_for_path path)
+let attach_file ?process path = Trace.attach (sink_for_path ?process path)

@@ -14,9 +14,27 @@
     relative to the first event. A run that raised mid-span has its
     unmatched [Begin]s closed at the last seen timestamp.
 
+    {b Multi-process tracks.} An event whose args carry
+    [("proc", Str name)] renders on a named track: each distinct name
+    is assigned a Chrome "pid" in first-seen order and announced with
+    a ["ph":"M"] [process_name] metadata record; span nesting is
+    matched per track. Untagged events land on the default track
+    (pid 1), whose name is the [?process] argument. This is the merged
+    fleet timeline: the coordinator replays relayed worker events
+    tagged [worker-N], and {!perfetto_of_tracks} merges per-process
+    files (server, load) recorded separately.
+
     The harnesses pick the form from the [--trace FILE] extension:
     [.jsonl] streams, anything else (canonically [.json]) is
     Perfetto. *)
+
+val proc_arg : string -> string * Trace.arg
+(** [("proc", Str name)] — the arg that routes an event to track
+    [name]. *)
+
+val tag : proc:string -> Trace.event list -> Trace.event list
+(** Add {!proc_arg}[ proc] to every event that does not already carry
+    a track tag (events relayed with their own tag keep it). *)
 
 val event_jsonl : Trace.event -> string
 (** One event as a single-line JSON object:
@@ -30,19 +48,34 @@ val jsonl_sink : ?close:(unit -> unit) -> out_channel -> Trace.sink
 val jsonl_file : string -> Trace.sink
 (** {!jsonl_sink} on a fresh file (truncating); detaching closes it. *)
 
-val perfetto_json : Trace.event list -> string
+val perfetto_json : ?process:string -> Trace.event list -> string
 (** Pure rendering of an event list (e.g. a {!Flight} buffer) as a
-    complete trace-event document. *)
+    complete trace-event document. [process] names the default track
+    (default ["main"]). *)
 
-val perfetto_sink : (string -> unit) -> Trace.sink
+val perfetto_sink : ?process:string -> (string -> unit) -> Trace.sink
 (** Buffering Perfetto sink; the callback receives the finished
     document exactly once, on detach. *)
 
-val perfetto_file : string -> Trace.sink
+val perfetto_file : ?process:string -> string -> Trace.sink
 (** {!perfetto_sink} writing to [path] on detach (truncating). *)
 
-val sink_for_path : string -> Trace.sink
+val merge_tracks : (string * Trace.event list) list -> Trace.event list
+(** Sequence-ordered merge of per-process event lists: each track is
+    sorted by its own sequence numbers (every process counts its
+    events independently), tagged with its track name, then merged by
+    timestamp with a stable sort so equal stamps keep track order.
+    Feeding the result to {!perfetto_json} yields one timeline with
+    one named track per process. *)
+
+val perfetto_of_tracks :
+  ?process:string -> (string * Trace.event list) list -> string
+(** [perfetto_json ?process (merge_tracks tracks)]. *)
+
+val sink_for_path : ?process:string -> string -> Trace.sink
 (** [.jsonl] → {!jsonl_file}, anything else → {!perfetto_file}. *)
 
-val attach_file : string -> Trace.id
-(** [Trace.attach (sink_for_path path)] — the [--trace FILE] flag. *)
+val attach_file : ?process:string -> string -> Trace.id
+(** [Trace.attach (sink_for_path path)] — the [--trace FILE] flag.
+    [process] names the default Perfetto track (the tool: [server],
+    [load], [coordinator]...). *)

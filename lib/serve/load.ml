@@ -119,8 +119,12 @@ let plan cfg ~n_vertices =
         | Fixed_target v -> Some v
         | Uniform_target -> Some (1 + Rng.int rng n_vertices)
       in
+      (* the trace context is part of the plan: derived from (seed, id)
+         by pure mixing, so request bytes are fixed-seed deterministic
+         whether or not anyone is tracing *)
       { Wire.id = i + 1; strategy; source = None; target; budget = cfg.budget;
-        stop_at_neighbor = cfg.stop_at_neighbor })
+        stop_at_neighbor = cfg.stop_at_neighbor;
+        ctx = Some (Sf_obs.Tctx.derive ~seed:cfg.seed ~id:(i + 1)) })
 
 let poisson_schedule cfg =
   if cfg.rate <= 0. then [||]
@@ -186,7 +190,7 @@ let run cfg =
     (try
        while !remaining > 0 do
          let resp = Client.recv conn in
-         let now = Unix.gettimeofday () in
+         let now = Sf_obs.Timer.now_s () in
          (match Wire.response_id resp with
          | id when id >= 1 && id <= cfg.requests ->
            replies.(id - 1) <- Some resp;
@@ -208,14 +212,14 @@ let run cfg =
   let receivers =
     Array.init cfg.connections (fun c -> Thread.create (receiver c) ())
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sf_obs.Timer.now_s () in
   let sent = ref 0 in
   (try
      for i = 0 to cfg.requests - 1 do
        if open_loop then begin
          let due = t0 +. schedule.(i) in
          let rec wait () =
-           let now = Unix.gettimeofday () in
+           let now = Sf_obs.Timer.now_s () in
            if now < due then begin
              Thread.delay (Float.min 0.002 (due -. now));
              wait ()
@@ -224,13 +228,13 @@ let run cfg =
          wait ()
        end
        else acquire ();
-       send_at.(i) <- Unix.gettimeofday ();
+       send_at.(i) <- Sf_obs.Timer.now_s ();
        Client.send conns.(i mod cfg.connections) (Wire.Search reqs.(i));
        incr sent
      done
    with Unix.Unix_error _ | Sys_error _ -> ());
   Array.iter Thread.join receivers;
-  let t_end = Unix.gettimeofday () in
+  let t_end = Sf_obs.Timer.now_s () in
   Array.iter Client.close conns;
   (* fold the replies, id order *)
   let n_replies = ref 0 in
@@ -273,6 +277,31 @@ let run cfg =
       crc := Crc32.sub ~init:!crc s ~pos:0 ~len:(String.length s - 4)
     | _ -> ()
   done;
+  (* per-request client spans, reconstructed after the run from the
+     recorded send/receive stamps (the receiver threads must never
+     touch trace sinks — sinks are single-domain closures).  Emitted
+     in id order as adjacent Begin/End pairs; with the server traced
+     to its own file, the merged timeline lines these up against the
+     serve.stage.* spans via the shared trace id. *)
+  if Sf_obs.Trace.active () then
+    for i = 0 to cfg.requests - 1 do
+      match replies.(i) with
+      | Some (Wire.Search_reply sr) ->
+        let origin = if open_loop then t0 +. schedule.(i) else send_at.(i) in
+        let args =
+          [ ("id", Sf_obs.Trace.Int (i + 1));
+            ("strategy", Sf_obs.Trace.Str reqs.(i).Wire.strategy);
+            ("cost", Sf_obs.Trace.Int sr.Wire.sr_total_requests) ]
+          @ (match reqs.(i).Wire.ctx with
+            | Some c -> Sf_obs.Tctx.args c
+            | None -> [])
+        in
+        Sf_obs.Trace.emit ~ts:origin "load.request" Sf_obs.Trace.Begin ~args;
+        Sf_obs.Trace.emit
+          ~ts:(Float.max origin recv_at.(i))
+          "load.request" Sf_obs.Trace.End
+      | _ -> ()
+    done;
   let mix_counts =
     List.map
       (fun (name, _) ->

@@ -39,6 +39,34 @@ let h_latency = Registry.histo "serve.latency_us"
 let t_batch = Registry.timer "serve.batch_s"
 let g_conns = Registry.gauge "serve.open_connections"
 
+(* Per-request stage breakdown (doc/OBSERVABILITY.md, "Distributed
+   tracing"): queue = frame parsed -> batch formed, batch = batch
+   formed -> pool slot starts the search, search = the search itself,
+   reply = reply enqueued -> socket drained.  Totals are surfaced in
+   Stats_reply so a remote client can watch where its latency goes. *)
+let t_stage_queue = Registry.timer "serve.stage.queue_s"
+let t_stage_batch = Registry.timer "serve.stage.batch_s"
+let t_stage_search = Registry.timer "serve.stage.search_s"
+let t_stage_reply = Registry.timer "serve.stage.reply_s"
+let h_stage_queue = Registry.histo "serve.stage.queue_us"
+let h_stage_batch = Registry.histo "serve.stage.batch_us"
+let h_stage_search = Registry.histo "serve.stage.search_us"
+let h_stage_reply = Registry.histo "serve.stage.reply_us"
+
+let observe_stage tm h dt =
+  let dt = Float.max 0. dt in
+  Timer.add_s tm dt;
+  Histo.observe h (dt *. 1e6)
+
+(* span args for one request's stage: the request id plus, when the
+   client sent a trace context, the shared trace id and a per-stage
+   child span id *)
+let stage_args (s : Wire.search) ~stage =
+  let base = [ ("id", Sf_obs.Trace.Int s.id) ] in
+  match s.ctx with
+  | None -> base
+  | Some c -> base @ Sf_obs.Tctx.args (Sf_obs.Tctx.child c ~key:stage)
+
 (* ------------------------------------------------------------------ *)
 (* Configuration and state                                             *)
 (* ------------------------------------------------------------------ *)
@@ -76,6 +104,9 @@ type conn = {
   mutable c_out_off : int;
   mutable c_alive : bool;
   mutable c_close_after_flush : bool;
+  (* search replies sitting in c_out, most recent first: enqueue time
+     plus the request they answer, settled when the buffer drains *)
+  mutable c_pending_replies : (float * Wire.search) list;
 }
 
 type t = {
@@ -180,6 +211,26 @@ let enqueue c resp =
   c.c_out_off <- 0;
   Counter.incr c_replies
 
+(* the reply-write stage closes when the connection's buffer fully
+   drains: every search reply that was sitting in it is settled at the
+   drain timestamp (the kernel has the bytes; client-side receive time
+   is the load generator's business) *)
+let settle_replies c =
+  match c.c_pending_replies with
+  | [] -> ()
+  | pending ->
+    c.c_pending_replies <- [];
+    let t_flush = Timer.now_s () in
+    List.iter
+      (fun (t_enq, s) ->
+        observe_stage t_stage_reply h_stage_reply (t_flush -. t_enq);
+        if Sf_obs.Trace.active () then begin
+          Sf_obs.Trace.emit ~ts:t_enq "serve.stage.reply" Sf_obs.Trace.Begin
+            ~args:(stage_args s ~stage:4);
+          Sf_obs.Trace.emit ~ts:t_flush "serve.stage.reply" Sf_obs.Trace.End
+        end)
+      (List.rev pending)
+
 let flush_conn c =
   if c.c_alive && String.length c.c_out > c.c_out_off then begin
     match
@@ -191,6 +242,7 @@ let flush_conn c =
       if c.c_out_off = String.length c.c_out then begin
         c.c_out <- "";
         c.c_out_off <- 0;
+        settle_replies c;
         if c.c_close_after_flush then close_conn c
       end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
@@ -224,6 +276,10 @@ let stats_reply t id =
       ss_served = t.served;
       ss_errors = t.errors;
       ss_connections = t.accepted;
+      ss_stage_queue_us = int_of_float (Timer.total_s t_stage_queue *. 1e6);
+      ss_stage_batch_us = int_of_float (Timer.total_s t_stage_batch *. 1e6);
+      ss_stage_search_us = int_of_float (Timer.total_s t_stage_search *. 1e6);
+      ss_stage_reply_us = int_of_float (Timer.total_s t_stage_reply *. 1e6);
     }
 
 (* One search request, anywhere in the pool: the reply depends only on
@@ -326,7 +382,7 @@ let parse_conn t c acc =
           enqueue c
             (Wire.Error { err_id = 0; code = Wire.Bad_frame; message = E.to_string e });
           go next acc
-        | Wire.Search s -> go next ((c, s) :: acc)
+        | Wire.Search s -> go next ((c, s, Timer.now_s ()) :: acc)
         | Wire.Ping id ->
           enqueue c (Wire.Pong id);
           go next acc
@@ -356,11 +412,42 @@ let run_batch t batch =
   if k > 0 then begin
     Counter.incr c_batches;
     Histo.observe_int h_batch k;
+    let t_bstart = Timer.now_s () in
     let replies =
-      Timer.time t_batch (fun () -> Pool.mapi t.pool k (fun i -> handle_search t (snd batch.(i))))
+      Timer.time t_batch (fun () ->
+          Pool.mapi t.pool k (fun i ->
+              let _, s, t_arr = batch.(i) in
+              (* stage observations and spans happen inside the task's
+                 Shard capture: merged in index order at the join, so
+                 counts and the event sequence stay deterministic *)
+              let t_sstart = Timer.now_s () in
+              observe_stage t_stage_queue h_stage_queue (t_bstart -. t_arr);
+              observe_stage t_stage_batch h_stage_batch (t_sstart -. t_bstart);
+              let traced = Sf_obs.Trace.active () in
+              if traced then begin
+                Sf_obs.Trace.emit ~ts:t_arr "serve.stage.queue" Sf_obs.Trace.Begin
+                  ~args:(stage_args s ~stage:1);
+                Sf_obs.Trace.emit ~ts:t_bstart "serve.stage.queue" Sf_obs.Trace.End;
+                Sf_obs.Trace.emit ~ts:t_bstart "serve.stage.batch" Sf_obs.Trace.Begin
+                  ~args:(stage_args s ~stage:2);
+                Sf_obs.Trace.emit ~ts:t_sstart "serve.stage.batch" Sf_obs.Trace.End;
+                Sf_obs.Trace.emit ~ts:t_sstart "serve.stage.search" Sf_obs.Trace.Begin
+                  ~args:(stage_args s ~stage:3)
+              end;
+              let reply = handle_search t s in
+              let t_done = Timer.now_s () in
+              observe_stage t_stage_search h_stage_search (t_done -. t_sstart);
+              if traced then
+                Sf_obs.Trace.emit ~ts:t_done "serve.stage.search" Sf_obs.Trace.End;
+              reply))
     in
     t.served <- t.served + k;
-    Array.iteri (fun i reply -> enqueue (fst batch.(i)) reply) replies
+    Array.iteri
+      (fun i reply ->
+        let c, s, _ = batch.(i) in
+        enqueue c reply;
+        c.c_pending_replies <- (Timer.now_s (), s) :: c.c_pending_replies)
+      replies
   end
 
 (* ------------------------------------------------------------------ *)
@@ -383,6 +470,7 @@ let accept_ready t lfd =
           c_out_off = 0;
           c_alive = true;
           c_close_after_flush = false;
+          c_pending_replies = [];
         }
         :: t.conns;
       go ()

@@ -59,6 +59,9 @@ type search = {
   target : int option;
   budget : int option;
   stop_at_neighbor : bool;
+  ctx : Sf_obs.Tctx.t option;
+      (* trace context: carried verbatim, never inspected by the
+         search itself — replies are byte-identical with or without *)
 }
 
 type request = Search of search | Ping of int | Stats of int | Shutdown of int
@@ -80,6 +83,13 @@ type server_stats = {
   ss_served : int;
   ss_errors : int;
   ss_connections : int;
+  (* cumulative per-request stage totals, microseconds: time spent
+     queued before a batch formed, waiting inside a batch for a pool
+     slot, searching, and draining the reply to the socket *)
+  ss_stage_queue_us : int;
+  ss_stage_batch_us : int;
+  ss_stage_search_us : int;
+  ss_stage_reply_us : int;
 }
 
 type error_code = Bad_frame | Unknown_strategy | Bad_vertex | Bad_request
@@ -134,6 +144,7 @@ let flag_source = 0x01
 let flag_target = 0x02
 let flag_budget = 0x04
 let flag_stop_at_neighbor = 0x08
+let flag_trace = 0x10 (* payload carries trace-id and span-id varints *)
 
 (* search-reply flags byte *)
 let rflag_to_target = 0x01
@@ -172,12 +183,18 @@ let encode_request req =
         (if s.source <> None then flag_source else 0)
         lor (if s.target <> None then flag_target else 0)
         lor (if s.budget <> None then flag_budget else 0)
-        lor if s.stop_at_neighbor then flag_stop_at_neighbor else 0
+        lor (if s.stop_at_neighbor then flag_stop_at_neighbor else 0)
+        lor if s.ctx <> None then flag_trace else 0
       in
       Buffer.add_char buf (Char.chr flags);
       Option.iter (Varint.write buf) s.source;
       Option.iter (Varint.write buf) s.target;
       Option.iter (Varint.write buf) s.budget;
+      Option.iter
+        (fun (c : Sf_obs.Tctx.t) ->
+          Varint.write buf c.trace;
+          Varint.write buf c.span)
+        s.ctx;
       buf
     | Ping id ->
       let buf = start_payload kind_ping in
@@ -224,6 +241,10 @@ let encode_response resp =
       Varint.write buf s.ss_served;
       Varint.write buf s.ss_errors;
       Varint.write buf s.ss_connections;
+      Varint.write buf s.ss_stage_queue_us;
+      Varint.write buf s.ss_stage_batch_us;
+      Varint.write buf s.ss_stage_search_us;
+      Varint.write buf s.ss_stage_reply_us;
       buf
     | Shutdown_ack id ->
       let buf = start_payload kind_shutdown_ack in
@@ -279,7 +300,10 @@ let decode_request s =
     let strategy, pos = read_string s ~payload_end ~pos in
     let flags, pos = read_byte s ~payload_end ~pos in
     if
-      flags land lnot (flag_source lor flag_target lor flag_budget lor flag_stop_at_neighbor)
+      flags
+      land lnot
+            (flag_source lor flag_target lor flag_budget lor flag_stop_at_neighbor
+           lor flag_trace)
       <> 0
     then E.fail (E.Malformed (Printf.sprintf "unknown search flag bits %#x" flags));
     let opt flag pos =
@@ -291,6 +315,13 @@ let decode_request s =
     let source, pos = opt flag_source pos in
     let target, pos = opt flag_target pos in
     let budget, pos = opt flag_budget pos in
+    let ctx, pos =
+      if flags land flag_trace = 0 then (None, pos)
+      else
+        let trace, pos = Varint.read s ~pos in
+        let span, pos = Varint.read s ~pos in
+        (Some { Sf_obs.Tctx.trace; span }, pos)
+    in
     finish ~payload_end ~pos
       (Search
          {
@@ -300,6 +331,7 @@ let decode_request s =
            target;
            budget;
            stop_at_neighbor = flags land flag_stop_at_neighbor <> 0;
+           ctx;
          })
   end
   else if kind = kind_ping || kind = kind_stats || kind = kind_shutdown then begin
@@ -350,6 +382,10 @@ let decode_response s =
     let served, pos = Varint.read s ~pos in
     let errors, pos = Varint.read s ~pos in
     let connections, pos = Varint.read s ~pos in
+    let queue_us, pos = Varint.read s ~pos in
+    let batch_us, pos = Varint.read s ~pos in
+    let search_us, pos = Varint.read s ~pos in
+    let reply_us, pos = Varint.read s ~pos in
     finish ~payload_end ~pos
       (Stats_reply
          {
@@ -359,6 +395,10 @@ let decode_response s =
            ss_served = served;
            ss_errors = errors;
            ss_connections = connections;
+           ss_stage_queue_us = queue_us;
+           ss_stage_batch_us = batch_us;
+           ss_stage_search_us = search_us;
+           ss_stage_reply_us = reply_us;
          })
   end
   else if kind = kind_error then begin

@@ -47,6 +47,10 @@ type search = {
   target : int option;  (** default: the server's [--target] *)
   budget : int option;  (** request budget; default: the server's *)
   stop_at_neighbor : bool;  (** the paper's lenient stopping rule *)
+  ctx : Sf_obs.Tctx.t option;
+      (** trace context (flag [0x10], two varints): correlates the
+          client's span with the server's stage spans. Carried, never
+          inspected — replies are identical with or without it. *)
 }
 
 type request = Search of search | Ping of int | Stats of int | Shutdown of int
@@ -68,6 +72,14 @@ type server_stats = {
   ss_served : int;  (** searches answered since this server started *)
   ss_errors : int;  (** protocol errors seen since this server started *)
   ss_connections : int;  (** connections accepted since this server started *)
+  ss_stage_queue_us : int;
+      (** cumulative µs requests spent queued before their batch formed *)
+  ss_stage_batch_us : int;
+      (** cumulative µs between batch formation and the pool starting
+          the search *)
+  ss_stage_search_us : int;  (** cumulative µs spent searching *)
+  ss_stage_reply_us : int;
+      (** cumulative µs between reply enqueue and the socket draining *)
 }
 
 type error_code = Bad_frame | Unknown_strategy | Bad_vertex | Bad_request

@@ -94,7 +94,7 @@ let () =
     let connect = Sys.getenv "SF_FABRIC_TEST_SOCK" in
     let marker = Sys.getenv "SF_FABRIC_TEST_MARKER" in
     (try
-       Swarm.worker_loop ~connect ~handle:(fun ~job ~body:_ ~progress:_ ->
+       Swarm.worker_loop ~connect ~handle:(fun ~job ~body:_ ~progress:_ ~telemetry:_ ->
            if job = 0 && not (Sys.file_exists marker) then begin
              (* leave a note for the replacement, then die rudely *)
              let oc = open_out marker in
@@ -136,6 +136,7 @@ let all_msgs =
     Proto.Assign { job = 17; body = String.make 513 'x' };
     Proto.Done { job = 17; body = "payload \x00\xff bytes" };
     Proto.Progress { job = 3; body = "\x07" };
+    Proto.Telemetry { job = 2; body = "relay \x00\xff bytes" };
     Proto.Quit;
   ]
 
@@ -637,6 +638,178 @@ let test_fault_schedule_deterministic () =
   let b = List.init 64 (fun next -> Worker.fault_fires ~seed:11 ~shard:2 ~next 0.5) in
   Alcotest.(check bool) "shards decorrelated" true (a <> b)
 
+(* ---- telemetry relay --------------------------------------------------- *)
+
+module Relay = Sf_fabric.Relay
+module Trace = Sf_obs.Trace
+
+let ev ?(args = []) ~seq ~ts name kind = { Trace.seq; ts; name; kind; args }
+
+(* one batch exercising every event kind and every arg tag (including
+   a negative Int and negative Ints elements, which travel as zigzag
+   varints) plus counter deltas at both bounds of "non-negative" *)
+let relay_batch () =
+  {
+    Relay.r_events =
+      [
+        ev ~seq:1 ~ts:0.5 "fabric.trial" Trace.Begin
+          ~args:
+            [
+              ("shard", Trace.Int 0);
+              ("neg", Trace.Int (-42));
+              ("w", Trace.Float 1.5);
+              ("who", Trace.Str "a\x00\"b");
+              ("ok", Trace.Bool true);
+              ("no", Trace.Bool false);
+              ("vs", Trace.Ints [ 1; -2; 3 ]);
+            ];
+        ev ~seq:2 ~ts:0.75 "fabric.trial" Trace.End;
+        ev ~seq:3 ~ts:0.8125 "fabric.ckpt" Trace.Instant ~args:[ ("next", Trace.Int 4) ];
+        ev ~seq:4 ~ts:0.875 "fabric.queue_depth" (Trace.Counter 2.25);
+      ];
+    r_counters = [ ("oracle.requests", 128); ("search.trials", 0) ];
+  }
+
+let test_relay_roundtrip () =
+  let check_rt what b =
+    let e = Relay.encode b in
+    Alcotest.(check bool) (what ^ " round trips") true (Relay.decode e = b);
+    (* canonical: re-encoding the decoded batch gives the same bytes *)
+    Alcotest.(check string) (what ^ " canonical") e (Relay.encode (Relay.decode e))
+  in
+  check_rt "full batch" (relay_batch ());
+  check_rt "empty batch" { Relay.r_events = []; r_counters = [] };
+  check_rt "counters only" { Relay.r_events = []; r_counters = [ ("a.b", 7) ] }
+
+let test_relay_rejects () =
+  let e = Relay.encode (relay_batch ()) in
+  let rejects what s =
+    match Relay.decode s with
+    | _ -> Alcotest.failf "decoded %s" what
+    | exception Codec_error.Error _ -> ()
+  in
+  (* every truncation raises: counts are explicit, nothing is implied
+     by end-of-input *)
+  for cut = 0 to String.length e - 1 do
+    rejects (Printf.sprintf "truncation to %d bytes" cut) (String.sub e 0 cut)
+  done;
+  rejects "trailing byte" (e ^ "\x00");
+  rejects "future version" ("\x09" ^ String.sub e 1 (String.length e - 1));
+  (* surgically corrupt tag bytes of a minimal single-arg event whose
+     layout we control: ...| kind | ts | seq | n_args | klen k tag bool *)
+  let tiny =
+    Relay.encode
+      {
+        Relay.r_events = [ ev ~seq:1 ~ts:0.5 "n" Trace.Instant ~args:[ ("k", Trace.Bool true) ] ];
+        r_counters = [];
+      }
+  in
+  let patch s i c =
+    let b = Bytes.of_string s in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  let len = String.length tiny in
+  rejects "bool byte 5" (patch tiny (len - 1) '\x05');
+  rejects "arg tag 9" (patch tiny (len - 2) '\x09');
+  (* kind byte sits right after the 1-char event name: version,
+     n_counters=0, n_events=1, name len, name *)
+  rejects "event kind 7" (patch tiny 5 '\x07');
+  (* negative deltas are a caller bug, refused at encode time *)
+  match Relay.encode { Relay.r_events = []; r_counters = [ ("x", -1) ] } with
+  | _ -> Alcotest.fail "encoded a negative counter delta"
+  | exception Invalid_argument _ -> ()
+
+let test_relay_assign_flag () =
+  Alcotest.(check bool) "trace:true wants trace" true
+    (Relay.assign_wants_trace (Relay.assign_body ~trace:true));
+  Alcotest.(check string) "trace:false is the pre-relay grammar" ""
+    (Relay.assign_body ~trace:false);
+  Alcotest.(check bool) "empty body runs silent" false (Relay.assign_wants_trace "");
+  Alcotest.(check bool) "junk runs silent" false (Relay.assign_wants_trace "trace:2")
+
+(* the merged fleet timeline, pinned byte-for-byte: coordinator events
+   plus two worker tracks whose events pass through the relay codec
+   exactly as Coordinator.run replays them.  Timestamps are fixed, so
+   the whole Perfetto document is deterministic. *)
+let test_fleet_timeline_golden () =
+  let through_relay events =
+    (Relay.decode (Relay.encode { Relay.r_events = events; r_counters = [] })).Relay.r_events
+  in
+  let coord =
+    [
+      ev ~seq:1 ~ts:0. "fabric.run" Trace.Begin ~args:[ ("shards", Trace.Int 2) ];
+      ev ~seq:2 ~ts:1. "fabric.run" Trace.End;
+    ]
+  in
+  let worker shard =
+    [
+      ev ~seq:1 ~ts:(0.125 +. (0.0625 *. float_of_int shard)) "fabric.trial" Trace.Begin
+        ~args:(("shard", Trace.Int shard) :: ("task", Trace.Int (shard * 3))
+              :: Sf_obs.Tctx.args (Sf_obs.Tctx.derive ~seed:11 ~id:(shard * 3)));
+      ev ~seq:2 ~ts:(0.5 +. (0.0625 *. float_of_int shard)) "fabric.trial" Trace.End;
+      ev ~seq:3 ~ts:(0.5625 +. (0.0625 *. float_of_int shard)) "fabric.ckpt" Trace.Instant
+        ~args:[ ("next", Trace.Int 1) ];
+    ]
+  in
+  let doc =
+    Sf_obs.Trace_export.perfetto_of_tracks ~process:"coordinator"
+      [
+        ("coordinator", coord);
+        ("worker-1", through_relay (worker 0));
+        ("worker-2", through_relay (worker 1));
+      ]
+  in
+  Alcotest.(check string) "golden digest of the merged timeline"
+    "0163e68c1d1ccefc8cfbd18bfcfae6f2" (Digest.to_hex (Digest.string doc))
+
+(* the headline claim with tracing ON: a traced 2-worker run produces
+   byte-identical measure.csv/manifest.json to the untraced sequential
+   reference, and the merged timeline that falls out names all three
+   process tracks with trace-context-tagged trial spans. *)
+let test_traced_workers_byte_identical () =
+  with_temp_dir (fun ref_dir ->
+      with_temp_dir (fun dir ->
+          prepare_pinned ~dir:ref_dir ~shards:2;
+          prepare_pinned ~dir ~shards:2;
+          (match run_grid ~dir:ref_dir ~workers:0 () with
+          | `Complete _ -> ()
+          | `Stopped_early _ -> Alcotest.fail "reference stopped");
+          let doc = ref "" in
+          let id =
+            Trace.attach
+              (Sf_obs.Trace_export.perfetto_sink ~process:"coordinator" (fun d -> doc := d))
+          in
+          let outcome =
+            Fun.protect
+              ~finally:(fun () -> Trace.detach id)
+              (fun () ->
+                let loaded = Coordinator.load ~dir in
+                Coordinator.run ~dir ~workers:2 ~ckpt_every:2 ~trace:true
+                  ~spawn:(fun ~sock_path ->
+                    fork_worker ~dir ~fault_rate:0. ~ckpt_every:2 ~sock_path)
+                  loaded)
+          in
+          (match outcome with
+          | `Complete _ -> ()
+          | `Stopped_early _ -> Alcotest.fail "traced run stopped");
+          Alcotest.(check string) "csv identical with tracing on"
+            (read_file (Grid.csv_path ref_dir))
+            (read_file (Grid.csv_path dir));
+          Alcotest.(check string) "manifest identical with tracing on"
+            (read_file (Grid.manifest_path ref_dir))
+            (read_file (Grid.manifest_path dir));
+          let contains sub =
+            let n = String.length sub and s = !doc in
+            let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+            go 0
+          in
+          List.iter
+            (fun sub ->
+              Alcotest.(check bool) (Printf.sprintf "timeline mentions %S" sub) true
+                (contains sub))
+            [ "coordinator"; "worker-1"; "worker-2"; "fabric.trial"; "fabric.ckpt"; "\"trace\":" ]))
+
 let suite =
   [
     ("proto: round trips", `Quick, test_proto_roundtrip);
@@ -659,4 +832,9 @@ let suite =
     ("swarm: death, reassignment, respawn", `Quick, test_swarm_death_reassignment);
     ("swarm: live socket refused, stale reclaimed", `Quick, test_swarm_socket_exclusion);
     ("fault schedule is deterministic", `Quick, test_fault_schedule_deterministic);
+    ("relay: round trips", `Quick, test_relay_roundtrip);
+    ("relay: rejects mutilated input", `Quick, test_relay_rejects);
+    ("relay: assign-body flag", `Quick, test_relay_assign_flag);
+    ("relay: merged timeline golden", `Quick, test_fleet_timeline_golden);
+    ("fabric: traced workers=2 byte-identical", `Slow, test_traced_workers_byte_identical);
   ]

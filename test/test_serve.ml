@@ -111,10 +111,11 @@ let sample_requests =
   [
     Wire.Search
       { Wire.id = 1; strategy = "high-degree"; source = None; target = None;
-        budget = None; stop_at_neighbor = false };
+        budget = None; stop_at_neighbor = false; ctx = None };
     Wire.Search
       { Wire.id = 900_000; strategy = "rand-walk"; source = Some 17; target = Some 1;
-        budget = Some 12_345; stop_at_neighbor = true };
+        budget = Some 12_345; stop_at_neighbor = true;
+        ctx = Some (Sf_obs.Tctx.derive ~seed:42 ~id:900_000) };
     Wire.Ping 0;
     Wire.Ping max_int;
     Wire.Stats 3;
@@ -132,7 +133,9 @@ let sample_responses =
     Wire.Pong 5;
     Wire.Stats_reply
       { Wire.ss_id = 9; ss_n_vertices = 1_000_000; ss_n_edges = 2_000_000;
-        ss_served = 123; ss_errors = 4; ss_connections = 56 };
+        ss_served = 123; ss_errors = 4; ss_connections = 56;
+        ss_stage_queue_us = 1_500; ss_stage_batch_us = 0; ss_stage_search_us = 987_654;
+        ss_stage_reply_us = 31 };
     Wire.Shutdown_ack 0;
     Wire.Error { err_id = 3; code = Wire.Bad_frame; message = "boom" };
     Wire.Error { err_id = 0; code = Wire.Unknown_strategy; message = "" };
@@ -171,6 +174,9 @@ let qcheck_search_roundtrip =
           target = opt (fun () -> 1 + Rng.int rng 1_000_000);
           budget = opt (fun () -> 1 + Rng.int rng 1_000_000);
           stop_at_neighbor = Rng.bool rng;
+          ctx =
+            opt (fun () ->
+                Sf_obs.Tctx.derive ~seed:(Rng.int rng 1_000_000) ~id:(Rng.int rng 1_000_000));
         }
       in
       Wire.decode_request (Wire.encode_request (Wire.Search s)) = Wire.Search s)
@@ -298,7 +304,7 @@ let test_ping_and_stats () =
 let search_req id strategy =
   Wire.Search
     { Wire.id = id; strategy; source = None; target = None; budget = Some 200;
-      stop_at_neighbor = false }
+      stop_at_neighbor = false; ctx = None }
 
 (* fire [ids] across [n_conns] connections (request i on connection
    i mod n_conns, pipelined), return encoded replies keyed by id *)
@@ -382,7 +388,8 @@ let test_request_validation_errors () =
              Client.call c
                (Wire.Search
                   { Wire.id = 6; strategy = "high-degree"; source = None;
-                    target = Some 99_999_999; budget = None; stop_at_neighbor = false })
+                    target = Some 99_999_999; budget = None; stop_at_neighbor = false;
+                    ctx = None })
            with
           | Wire.Error { err_id = 6; code = Wire.Bad_vertex; _ } -> ()
           | _ -> Alcotest.fail "expected Bad_vertex");
@@ -390,7 +397,8 @@ let test_request_validation_errors () =
              Client.call c
                (Wire.Search
                   { Wire.id = 7; strategy = "high-degree"; source = None;
-                    target = None; budget = Some 0; stop_at_neighbor = false })
+                    target = None; budget = Some 0; stop_at_neighbor = false;
+                    ctx = None })
            with
           | Wire.Error { err_id = 7; code = Wire.Bad_request; _ } -> ()
           | _ -> Alcotest.fail "expected Bad_request");

@@ -254,6 +254,7 @@ let test_prometheus_golden () =
         {|sf_test_telem_golden_lat{quantile="0.5"} 2|};
         {|sf_test_telem_golden_lat{quantile="0.95"} 4|};
         {|sf_test_telem_golden_lat{quantile="0.99"} 4|};
+        {|sf_test_telem_golden_lat{quantile="0.999"} 4|};
         "sf_test_telem_golden_lat_sum 7";
         "sf_test_telem_golden_lat_count 3";
         "";
@@ -272,6 +273,30 @@ let test_histo_json_has_p95 () =
           Option.bind (Json.member "p95" m) Json.as_num)
     in
     Alcotest.(check bool) "p95 present" true (p95 = Some 4.)
+
+let test_histo_json_has_p999 () =
+  let h = Registry.histo "test.telem.p999check" in
+  (* 1000 observations with two outliers: the top 0.2% sits past the
+     nearest-rank p999 cut, in the tail bucket that p99 rounds away *)
+  for _ = 1 to 998 do
+    Histo.observe h 1.
+  done;
+  Histo.observe h 512.;
+  Histo.observe h 512.;
+  match Json.parse (Export.metrics_json ()) with
+  | Error msg -> Alcotest.fail ("metrics_json unparseable: " ^ msg)
+  | Ok j ->
+    let facet name =
+      Option.bind (Json.member "test.telem.p999check" j) (fun m ->
+          Option.bind (Json.member name m) Json.as_num)
+    in
+    (match facet "p999" with
+    | Some p999 -> Alcotest.(check bool) "p999 sees the outlier" true (p999 > 1.)
+    | None -> Alcotest.fail "p999 facet missing");
+    match (facet "p999", facet "p99") with
+    | Some p999, Some p99 ->
+      Alcotest.(check bool) "quantiles ordered" true (p999 >= p99)
+    | _ -> Alcotest.fail "quantile facets missing"
 
 (* ---------------------------------------------------------------- *)
 (* the socket                                                        *)
@@ -574,6 +599,7 @@ let suite =
     Alcotest.test_case "prometheus name sanitization" `Quick test_sanitize;
     Alcotest.test_case "prometheus exposition golden" `Quick test_prometheus_golden;
     Alcotest.test_case "histogram json carries p95" `Quick test_histo_json_has_p95;
+    Alcotest.test_case "histogram json carries p999" `Quick test_histo_json_has_p999;
     Alcotest.test_case "socket protocol end to end" `Quick test_socket_protocol;
     Alcotest.test_case "socket path length guard" `Quick test_socket_path_too_long;
     Alcotest.test_case "socket path refuses regular file" `Quick test_socket_path_not_socket;

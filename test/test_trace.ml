@@ -336,8 +336,8 @@ let test_perfetto_export_is_valid_json () =
     let phs =
       List.filter_map (fun e -> str_field "ph" e) events |> List.sort_uniq compare
     in
-    Alcotest.(check (list string)) "only complete/instant/counter phases"
-      [ "C"; "X"; "i" ] phs;
+    Alcotest.(check (list string)) "only complete/instant/counter/metadata phases"
+      [ "C"; "M"; "X"; "i" ] phs;
     List.iter
       (fun e ->
         match str_field "ph" e with
@@ -411,7 +411,8 @@ let test_file_sink_selection () =
       List.iter (fun l -> ignore (parse_json l)) lines;
       match obj_field "traceEvents" (parse_json (read json)) with
       | Some (J_arr evs) ->
-        Alcotest.(check int) "perfetto: one record per event" 2 (List.length evs)
+        (* one record per event, plus the process_name metadata record *)
+        Alcotest.(check int) "perfetto: one record per event" 3 (List.length evs)
       | _ -> Alcotest.fail "perfetto file missing traceEvents")
 
 (* --- the oracle's request events ---------------------------------------- *)
@@ -561,6 +562,163 @@ let test_progress_reporting () =
       Alcotest.(check bool) "final line is newline-terminated" true
         (String.length s > 0 && s.[String.length s - 1] = '\n'))
 
+(* --- multi-process tracks ----------------------------------------------- *)
+
+let mk ?(args = []) ~seq ~ts name kind = { Trace.seq; ts; name; kind; args }
+
+let test_multiproc_export_tracks () =
+  (* three processes with fixed stamps: untagged coordinator events on
+     the default track, two tagged worker tracks via merge_tracks *)
+  let coord =
+    [ mk ~seq:1 ~ts:0. "merge" Trace.Begin; mk ~seq:2 ~ts:1. "merge" Trace.End ]
+  in
+  let w1 =
+    [
+      mk ~seq:1 ~ts:0.125 "trial" Trace.Begin;
+      mk ~seq:2 ~ts:0.375 "trial" Trace.End;
+      mk ~seq:3 ~ts:0.4375 "ckpt" Trace.Instant;
+    ]
+  in
+  let w2 =
+    [ mk ~seq:1 ~ts:0.25 "trial" Trace.Begin; mk ~seq:2 ~ts:0.5 "trial" Trace.End ]
+  in
+  let doc =
+    Trace_export.perfetto_of_tracks ~process:"coordinator"
+      [ ("coordinator", coord); ("worker-1", w1); ("worker-2", w2) ]
+  in
+  match obj_field "traceEvents" (parse_json doc) with
+  | Some (J_arr events) ->
+    (* each track is announced exactly once, pids in first-seen order *)
+    let tracks =
+      List.filter_map
+        (fun e ->
+          match (str_field "ph" e, obj_field "pid" e, obj_field "args" e) with
+          | Some "M", Some (J_num pid), Some (J_obj args) -> (
+            match List.assoc_opt "name" args with
+            | Some (J_str name) -> Some (int_of_float pid, name)
+            | _ -> None)
+          | _ -> None)
+        events
+      |> List.sort compare
+    in
+    Alcotest.(check (list (pair int string)))
+      "named process tracks"
+      [ (1, "coordinator"); (2, "worker-1"); (3, "worker-2") ]
+      tracks;
+    (* every slice lands on its own process's pid *)
+    let slices =
+      List.filter_map
+        (fun e ->
+          match (str_field "ph" e, str_field "name" e, obj_field "pid" e) with
+          | Some "X", Some name, Some (J_num pid) -> Some (int_of_float pid, name)
+          | _ -> None)
+        events
+      |> List.sort compare
+    in
+    Alcotest.(check (list (pair int string)))
+      "slices on their tracks"
+      [ (1, "merge"); (2, "trial"); (3, "trial") ]
+      slices;
+    let instants =
+      List.filter_map
+        (fun e ->
+          match (str_field "ph" e, obj_field "pid" e) with
+          | Some "i", Some (J_num pid) -> Some (int_of_float pid)
+          | _ -> None)
+        events
+    in
+    Alcotest.(check (list int)) "instant on worker-1's track" [ 2 ] instants
+  | _ -> Alcotest.fail "missing traceEvents"
+
+(* merge_tracks restores per-track sequence order no matter how the
+   input lists are shuffled: within one process, seq order and stamp
+   order agree (the stream stamps monotonically), and the merge must
+   keep both — per-track seqs strictly increasing in the merged
+   stream, with nothing dropped. *)
+let qcheck_merge_seq_order =
+  let open QCheck in
+  let track_gen =
+    Gen.(
+      int_range 0 24 >>= fun n ->
+      (* nondecreasing stamps on an exact binary grid (no float noise),
+         strictly increasing seqs; then shuffle the transmission order *)
+      list_repeat n (int_range 0 3) >>= fun steps ->
+      let _, pairs =
+        List.fold_left
+          (fun (ts, acc) d ->
+            let ts = ts +. (float_of_int d /. 16.) in
+            (ts, (List.length acc + 1, ts) :: acc))
+          (0., []) steps
+      in
+      shuffle_l pairs)
+  in
+  let arb =
+    make
+      ~print:(fun tracks ->
+        String.concat " | "
+          (List.map
+             (fun pairs ->
+               String.concat ","
+                 (List.map (fun (seq, ts) -> Printf.sprintf "%d@%g" seq ts) pairs))
+             tracks))
+      Gen.(int_range 1 4 >>= fun k -> list_repeat k track_gen)
+  in
+  Test.make ~name:"merge_tracks: seqs strictly ordered per track" ~count:200 arb
+    (fun tracks ->
+      let named =
+        List.mapi
+          (fun i pairs ->
+            ( Printf.sprintf "t%d" i,
+              List.map
+                (fun (seq, ts) ->
+                  { Trace.seq; ts; name = "e"; kind = Trace.Instant; args = [] })
+                pairs ))
+          tracks
+      in
+      let merged = Trace_export.merge_tracks named in
+      List.length merged = List.fold_left (fun a (_, es) -> a + List.length es) 0 named
+      && List.for_all
+           (fun (name, es) ->
+             let seqs =
+               List.filter_map
+                 (fun e ->
+                   match List.assoc_opt "proc" e.Trace.args with
+                   | Some (Trace.Str p) when p = name -> Some e.Trace.seq
+                   | _ -> None)
+                 merged
+             in
+             let rec strict = function
+               | a :: (b :: _ as tl) -> a < b && strict tl
+               | _ -> true
+             in
+             List.length seqs = List.length es && strict seqs)
+           named)
+
+(* --- trace-context ids --------------------------------------------------- *)
+
+let test_tctx_derivation () =
+  let module Tctx = Sf_obs.Tctx in
+  let c = Tctx.derive ~seed:42 ~id:7 in
+  Alcotest.(check bool) "pure: same inputs, same context" true
+    (c = Tctx.derive ~seed:42 ~id:7);
+  Alcotest.(check bool) "seed moves the trace id" true
+    ((Tctx.derive ~seed:43 ~id:7).Tctx.trace <> c.Tctx.trace);
+  Alcotest.(check bool) "request id moves the trace id" true
+    ((Tctx.derive ~seed:42 ~id:8).Tctx.trace <> c.Tctx.trace);
+  Alcotest.(check bool) "ids non-negative" true (c.Tctx.trace >= 0 && c.Tctx.span >= 0);
+  let c1 = Tctx.child c ~key:1 and c2 = Tctx.child c ~key:2 in
+  Alcotest.(check bool) "children keep the trace id" true
+    (c1.Tctx.trace = c.Tctx.trace && c2.Tctx.trace = c.Tctx.trace);
+  Alcotest.(check bool) "children get fresh, distinct spans" true
+    (c1.Tctx.span <> c2.Tctx.span && c1.Tctx.span <> c.Tctx.span && c2.Tctx.span >= 0);
+  Alcotest.(check int) "hex is 16 digits" 16 (String.length (Tctx.to_hex c.Tctx.trace));
+  Alcotest.(check string) "hex of zero pads" "0000000000000000" (Tctx.to_hex 0);
+  match Tctx.args c with
+  | [ ("trace", Trace.Str t); ("span", Trace.Str s) ] ->
+    Alcotest.(check string) "trace arg renders to_hex" (Tctx.to_hex c.Tctx.trace) t;
+    Alcotest.(check string) "span arg renders to_hex" (Tctx.to_hex c.Tctx.span) s
+  | _ -> Alcotest.fail "unexpected Tctx.args shape"
+
 let suite =
   [
     ("fan-out and ordering", `Quick, test_emit_fanout_and_ordering);
@@ -580,4 +738,7 @@ let suite =
     ("manifest skipped when disabled", `Quick, test_manifest_checked_skips_when_disabled);
     ("manifest io errors reported", `Quick, test_manifest_checked_reports_io_errors);
     ("progress reporting", `Quick, test_progress_reporting);
+    ("multi-process export tracks", `Quick, test_multiproc_export_tracks);
+    QCheck_alcotest.to_alcotest qcheck_merge_seq_order;
+    ("trace-context derivation", `Quick, test_tctx_derivation);
   ]
